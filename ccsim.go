@@ -1,0 +1,265 @@
+// Package ccsim is a detailed architectural simulator for the cache
+// protocol extensions studied in Dahlgren, Dubois & Stenström, "Combined
+// Performance Gains of Simple Cache Protocol Extensions" (ISCA 1994).
+//
+// It models a 16-node CC-NUMA multiprocessor — two-level caches, lockup-free
+// second-level cache with write buffers, a full-map directory-based
+// write-invalidate protocol, queue-based locks at memory, and either a
+// contention-free uniform network or a wormhole-routed mesh — and the
+// paper's three protocol extensions in every combination:
+//
+//   - P:  adaptive sequential prefetching
+//   - M:  the migratory-sharing optimization
+//   - CW: competitive update with write caches
+//
+// under sequential or release consistency.
+//
+// A minimal run:
+//
+//	cfg := ccsim.DefaultConfig()
+//	cfg.Workload = "mp3d"
+//	cfg.Extensions = ccsim.Ext{P: true, CW: true}
+//	res, err := ccsim.Run(cfg)
+//
+// res then carries the execution-time decomposition, miss-rate components,
+// and network traffic the paper's figures and tables report.
+package ccsim
+
+import (
+	"fmt"
+	"io"
+
+	"ccsim/internal/core"
+	"ccsim/internal/machine"
+	"ccsim/internal/proc"
+	"ccsim/internal/trace"
+	"ccsim/internal/workload"
+)
+
+// Ext selects the protocol extensions applied on top of the BASIC
+// write-invalidate protocol.
+type Ext struct {
+	P  bool // adaptive sequential prefetching
+	M  bool // migratory-sharing optimization
+	CW bool // competitive update + write cache (requires release consistency)
+}
+
+// Network selects the interconnect model.
+type Network int
+
+const (
+	// Uniform is the paper's default: contention-free, 54-pclock
+	// node-to-node latency.
+	Uniform Network = iota
+	// Mesh is the wormhole-routed 2-D mesh of the paper's §5.3; set
+	// LinkBits to 64, 32 or 16.
+	Mesh
+)
+
+// Config selects one simulation.
+type Config struct {
+	// Workload names one of the five kernels: "mp3d", "cholesky", "water",
+	// "lu", "ocean". Leave empty when calling RunStreams.
+	Workload string
+	// Scale multiplies the workload's problem size (1.0 = default).
+	Scale float64
+
+	Procs int // processor count (paper: 16)
+
+	Extensions Ext
+	SC         bool // sequential consistency instead of release consistency
+
+	Net      Network
+	LinkBits int // mesh link width (64, 32, 16)
+
+	// SLCBlocks is the second-level cache size in 32-byte blocks;
+	// 0 = infinite (paper default). 512 models the paper's 16-KB SLC.
+	SLCBlocks int
+	// SLCWays is the SLC associativity (0 or 1 = the paper's direct-mapped
+	// organization; higher values add LRU set associativity).
+	SLCWays int
+	// FLWBEntries/SLWBEntries size the write buffers; 0 selects the
+	// paper's defaults (8/16 under RC, 1/16 under SC).
+	FLWBEntries int
+	SLWBEntries int
+
+	// Extension tuning; zero values select the paper's settings.
+	PrefetchMaxK     int // cap on the adaptive degree of prefetching (default 8)
+	CWThreshold      int // competitive threshold (default 1, per §3.3 with write caches)
+	WriteCacheBlocks int // write-cache size in blocks (default 4)
+	// PrefetchNackDirty makes the home reject prefetches that find the
+	// block dirty in another cache (a DASH-style alternative kept as an
+	// ablation; the paper's scheme services them).
+	PrefetchNackDirty bool
+
+	// DirPointers selects a limited-pointer directory (Dir_iB) with that
+	// many sharer pointers per memory line; 0 keeps the paper's full
+	// presence-flag map. Overflowing entries broadcast their
+	// invalidations — the classic storage/traffic trade-off, kept here as
+	// an extension study.
+	DirPointers int
+
+	// VerifyData carries per-word version numbers through every protocol
+	// data path and fails the run if any processor ever observes a
+	// location's value moving backward — the data-value invariant of
+	// coherence. Costs simulation speed; meant for validation.
+	VerifyData bool
+
+	// TraceWriter, when non-nil, streams a protocol trace there: every
+	// message send and delivery, directory transition, cache fill and
+	// eviction, one line per event.
+	TraceWriter io.Writer
+	// TraceBlocks restricts the trace to the blocks containing these byte
+	// addresses (empty = all blocks).
+	TraceBlocks []uint64
+}
+
+// DefaultConfig returns the paper's baseline: 16 processors, BASIC protocol
+// under release consistency, uniform network, infinite SLC.
+func DefaultConfig() Config {
+	return Config{Scale: 1.0, Procs: 16, LinkBits: 64}
+}
+
+func (c Config) coreParams() core.Params {
+	p := core.DefaultParams()
+	p.Nodes = c.Procs
+	p.P = c.Extensions.P
+	p.M = c.Extensions.M
+	p.CW = c.Extensions.CW
+	p.SC = c.SC
+	p.SLCSets = c.SLCBlocks
+	p.SLCWays = c.SLCWays
+	if c.SC {
+		// Paper §5.2: under SC a single FLWB entry suffices; the SLWB still
+		// tracks pending prefetches when P is on.
+		p.FLWBEntries = 1
+	}
+	if c.FLWBEntries > 0 {
+		p.FLWBEntries = c.FLWBEntries
+	}
+	if c.SLWBEntries > 0 {
+		p.SLWBEntries = c.SLWBEntries
+	}
+	if c.PrefetchMaxK > 0 {
+		p.PrefetchMaxK = c.PrefetchMaxK
+	}
+	if c.CWThreshold > 0 {
+		p.CWThreshold = c.CWThreshold
+	}
+	if c.WriteCacheBlocks > 0 {
+		p.WriteCacheBlocks = c.WriteCacheBlocks
+	}
+	p.PrefetchNackDirty = c.PrefetchNackDirty
+	p.DirPointers = c.DirPointers
+	p.VerifyData = c.VerifyData
+	return p
+}
+
+func (c Config) machineConfig() machine.Config {
+	mc := machine.Config{Core: c.coreParams(), LinkBits: c.LinkBits}
+	if c.Net == Mesh {
+		mc.Net = machine.NetMesh
+	}
+	if c.TraceWriter != nil {
+		var f trace.Filter
+		for _, a := range c.TraceBlocks {
+			f.Blocks = append(f.Blocks, a/32)
+		}
+		mc.Tracer = trace.New(c.TraceWriter, f)
+		mc.Tracer.SetLimit(1) // stream-only: keep the buffer trivial
+	}
+	return mc
+}
+
+// ProtocolName returns the paper's name for the configured protocol
+// (BASIC, P, CW, M, P+CW, P+M, CW+M, P+CW+M, with -SC under sequential
+// consistency).
+func (c Config) ProtocolName() string {
+	p := c.coreParams()
+	return p.ProtocolName()
+}
+
+// Run simulates the configured workload to completion and returns its
+// measurements. The run is deterministic: identical configurations produce
+// identical results.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Workload == "" {
+		return nil, fmt.Errorf("ccsim: no workload named; use RunStreams for custom streams")
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1.0
+	}
+	streams, err := workload.Streams(cfg.Workload, cfg.Procs, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return runStreams(cfg, streams)
+}
+
+// Workloads lists the available kernel names in the paper's order.
+func Workloads() []string { return workload.Names() }
+
+// WorkloadOps expands a built-in kernel into per-processor operation
+// slices, e.g. to export it with WriteTrace or to post-process it.
+func WorkloadOps(name string, procs int, scale float64) ([][]Op, error) {
+	streams, err := workload.Streams(name, procs, scale)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Op, len(streams))
+	for p, s := range streams {
+		for {
+			op, ok := s.Next()
+			if !ok {
+				break
+			}
+			out[p] = append(out[p], Op{
+				Kind:   kindUnmap[op.Kind],
+				Addr:   uint64(op.Addr),
+				Cycles: op.Cycles,
+				Bar:    op.Bar,
+			})
+		}
+	}
+	return out, nil
+}
+
+// HardwareCost is one row of the paper's Table 1: the hardware an extension
+// needs beyond the BASIC protocol.
+type HardwareCost = core.HardwareCost
+
+// CostTable returns the paper's Table 1 for a machine with the given node
+// count.
+func CostTable(nodes int) []HardwareCost { return core.CostTable(nodes) }
+
+// StorageBits quantifies a configuration's coherence-state storage per
+// node (the companion technical report's cost model).
+type StorageBits = core.StorageBits
+
+// ComputeStorage returns the per-node storage a configuration needs, for
+// an SLC of slcFrames lines and memBlocks blocks of local memory.
+func ComputeStorage(cfg Config, slcFrames, memBlocks int) StorageBits {
+	return core.ComputeStorage(cfg.coreParams(), slcFrames, memBlocks)
+}
+
+// RunStreams simulates custom operation streams, one per processor, against
+// the configured machine. Each stream must begin with a StatsOn operation.
+func RunStreams(cfg Config, streams []Stream) (*Result, error) {
+	adapted := make([]proc.Stream, len(streams))
+	for i, s := range streams {
+		adapted[i] = &streamAdapter{s: s}
+	}
+	return runStreams(cfg, adapted)
+}
+
+func runStreams(cfg Config, streams []proc.Stream) (*Result, error) {
+	m, err := machine.New(cfg.machineConfig(), streams)
+	if err != nil {
+		return nil, err
+	}
+	r, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(cfg, r), nil
+}

@@ -1,0 +1,191 @@
+// Command ccsim runs a single simulation of the paper's machine and prints
+// its measurements.
+//
+// Examples:
+//
+//	ccsim -workload mp3d                         # BASIC under RC
+//	ccsim -workload mp3d -ext P+CW               # prefetching + competitive update
+//	ccsim -workload cholesky -ext P+M -sc        # under sequential consistency
+//	ccsim -workload ocean -net mesh -link 16     # 16-bit wormhole mesh
+//	ccsim -workload lu -slc 512 -scale 0.5       # 16-KB SLC, half-size problem
+//	ccsim -workload water -verify                # data-value-checked run
+//	ccsim -workload mp3d -trace - -traceaddrs 0  # protocol trace for one block
+//	ccsim -workload lu -dump lu.trace            # export the kernel as a trace file
+//	ccsim -in lu.trace -ext P                    # replay a trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ccsim"
+)
+
+func parseExt(s string) (ccsim.Ext, error) {
+	var e ccsim.Ext
+	if s == "" || strings.EqualFold(s, "basic") {
+		return e, nil
+	}
+	for _, part := range strings.Split(s, "+") {
+		switch strings.ToUpper(strings.TrimSpace(part)) {
+		case "P":
+			e.P = true
+		case "M":
+			e.M = true
+		case "CW":
+			e.CW = true
+		default:
+			return e, fmt.Errorf("unknown extension %q (want P, M, CW, e.g. P+CW)", part)
+		}
+	}
+	return e, nil
+}
+
+func main() {
+	workload := flag.String("workload", "mp3d", "kernel: "+strings.Join(ccsim.Workloads(), ", "))
+	ext := flag.String("ext", "BASIC", "protocol extensions: BASIC, P, M, CW, P+CW, P+M, CW+M, P+CW+M")
+	sc := flag.Bool("sc", false, "sequential consistency (default: release consistency)")
+	netKind := flag.String("net", "uniform", "network: uniform or mesh")
+	link := flag.Int("link", 64, "mesh link width in bits (64, 32, 16)")
+	procs := flag.Int("procs", 16, "processor count")
+	scale := flag.Float64("scale", 1.0, "workload problem-size multiplier")
+	slc := flag.Int("slc", 0, "SLC size in 32-byte blocks (0 = infinite)")
+	flwb := flag.Int("flwb", 0, "FLWB entries (0 = paper default)")
+	slwb := flag.Int("slwb", 0, "SLWB entries (0 = paper default)")
+	in := flag.String("in", "", "run a trace file (see ccsim.ParseTrace) instead of a named workload")
+	dump := flag.String("dump", "", "write the selected workload as a trace file and exit")
+	verify := flag.Bool("verify", false, "check the data-value invariant of coherence during the run")
+	traceOut := flag.String("trace", "", "stream a protocol trace to this file (\"-\" = stderr)")
+	traceAddrs := flag.String("traceaddrs", "", "comma-separated byte addresses restricting the trace")
+	flag.Parse()
+
+	cfg := ccsim.DefaultConfig()
+	cfg.Workload = *workload
+	cfg.Procs = *procs
+	cfg.Scale = *scale
+	cfg.SC = *sc
+	cfg.SLCBlocks = *slc
+	cfg.FLWBEntries = *flwb
+	cfg.SLWBEntries = *slwb
+	cfg.LinkBits = *link
+	cfg.VerifyData = *verify
+	switch *netKind {
+	case "uniform":
+		cfg.Net = ccsim.Uniform
+	case "mesh":
+		cfg.Net = ccsim.Mesh
+	default:
+		fmt.Fprintf(os.Stderr, "unknown network %q\n", *netKind)
+		os.Exit(2)
+	}
+	e, err := parseExt(*ext)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Extensions = e
+
+	if *traceOut != "" {
+		w := os.Stderr
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		cfg.TraceWriter = w
+		if *traceAddrs != "" {
+			for _, part := range strings.Split(*traceAddrs, ",") {
+				var a uint64
+				if _, err := fmt.Sscanf(strings.TrimSpace(part), "%v", &a); err != nil {
+					fmt.Fprintf(os.Stderr, "bad trace address %q\n", part)
+					os.Exit(2)
+				}
+				cfg.TraceBlocks = append(cfg.TraceBlocks, a)
+			}
+		}
+	}
+
+	if *dump != "" {
+		ops, err := ccsim.WorkloadOps(*workload, *procs, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := ccsim.WriteTrace(f, ops); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *dump)
+		return
+	}
+
+	var r *ccsim.Result
+	if *in != "" {
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		streams, perr := ccsim.ParseTrace(f)
+		f.Close()
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			os.Exit(1)
+		}
+		cfg.Procs = len(streams)
+		cfg.Workload = "trace:" + *in
+		r, err = ccsim.RunStreams(cfg, streams)
+	} else {
+		r, err = ccsim.Run(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	n := float64(r.Procs)
+	fmt.Printf("workload    %s (scale %g)\n", r.Workload, cfg.Scale)
+	fmt.Printf("protocol    %s on %s, %d processors\n", r.Protocol, r.Network, r.Procs)
+	fmt.Printf("exec time   %d pclocks (%.2f ms simulated)\n", r.ExecTime, float64(r.ExecTime)*10e-6)
+	fmt.Printf("per-processor time decomposition (pclocks):\n")
+	fmt.Printf("  busy      %12.0f\n", float64(r.Busy)/n)
+	fmt.Printf("  read      %12.0f\n", float64(r.ReadStall)/n)
+	fmt.Printf("  write     %12.0f\n", float64(r.WriteStall)/n)
+	fmt.Printf("  acquire   %12.0f  (of which barrier %0.f)\n", float64(r.AcquireStall)/n, float64(r.BarrierStall)/n)
+	fmt.Printf("  release   %12.0f\n", float64(r.ReleaseStall)/n)
+	fmt.Printf("references  %d reads, %d writes\n", r.Reads, r.Writes)
+	fmt.Printf("miss rates  cold %.2f%%  coherence %.2f%%  replacement %.2f%%\n",
+		r.ColdMissRate(), r.CoherenceMissRate(), r.ReplacementMissRate())
+	fmt.Printf("miss lat.   %.0f pclocks average demand read miss (P50 <= %d, P95 <= %d)\n",
+		r.AvgReadMissLatency, r.MissLatencyP50, r.MissLatencyP95)
+	fmt.Printf("traffic     %d bytes in %d messages (updates %d B, data %d B)\n",
+		r.TrafficBytes, r.TrafficMsgs, r.UpdateBytes, r.DataBytes)
+	if e.P {
+		fmt.Printf("prefetch    issued %d, useful %d, partial hits %d, nacked %d\n",
+			r.PrefetchesIssued, r.PrefetchesUseful, r.PrefetchPartHits, r.PrefetchesNacked)
+	}
+	if e.M {
+		fmt.Printf("migratory   %d detections, %d reverts, %d exclusive supplies\n",
+			r.MigDetections, r.MigReverts, r.ExclSupplies)
+	}
+	if e.CW {
+		fmt.Printf("updates     %d update requests, %d write-cache read hits\n",
+			r.UpdateRequests, r.WriteCacheHits)
+	}
+	fmt.Printf("ownership   %d ownership requests\n", r.OwnershipRequests)
+}

@@ -1,0 +1,154 @@
+// Command experiments regenerates the tables and figures of Dahlgren,
+// Dubois & Stenström's ISCA 1994 evaluation. Each experiment prints the
+// same rows or series the paper reports; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+//
+// Usage:
+//
+//	experiments -exp all            # everything (minutes at scale 1.0)
+//	experiments -exp fig2           # Figure 2: relative exec times under RC
+//	experiments -exp table2         # Table 2: cold/coherence miss rates
+//	experiments -exp fig3           # Figure 3: sequential consistency
+//	experiments -exp table3         # Table 3: mesh link-width sweep
+//	experiments -exp fig4           # Figure 4: relative network traffic
+//	experiments -exp table1         # Table 1: hardware cost inventory
+//	experiments -exp sens-buffers   # §5.4: 4-entry write buffers
+//	experiments -exp sens-cache     # §5.4: 16-KB SLC
+//	experiments -scale 0.25 ...     # shrink the workloads for a quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ccsim/exp"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment: all, table1, fig2, table2, fig3, table3, fig4, sens-buffers, sens-cache, dir, assoc, scaling, cost")
+	scale := flag.Float64("scale", 1.0, "workload problem-size multiplier")
+	procs := flag.Int("procs", 16, "processor count")
+	flag.Parse()
+
+	o := exp.Options{Scale: *scale, Procs: *procs}
+	run := func(name string, fn func() error) {
+		t0 := time.Now()
+		fmt.Printf("==== %s (scale %g, %d processors) ====\n", name, o.Scale, o.Procs)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s done in %v ----\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	experiments := map[string]func() error{
+		"table1": func() error {
+			exp.FprintTable1(os.Stdout, o.Procs)
+			return nil
+		},
+		"fig2": func() error {
+			rows, err := exp.Figure2(o)
+			if err != nil {
+				return err
+			}
+			exp.FprintFigure2(os.Stdout, rows)
+			return nil
+		},
+		"table2": func() error {
+			rows, err := exp.Table2(o)
+			if err != nil {
+				return err
+			}
+			exp.FprintTable2(os.Stdout, rows)
+			return nil
+		},
+		"fig3": func() error {
+			rows, err := exp.Figure3(o)
+			if err != nil {
+				return err
+			}
+			exp.FprintFigure3(os.Stdout, rows)
+			return nil
+		},
+		"table3": func() error {
+			rows, err := exp.Table3(o)
+			if err != nil {
+				return err
+			}
+			exp.FprintTable3(os.Stdout, rows)
+			return nil
+		},
+		"fig4": func() error {
+			rows, err := exp.Figure4(o)
+			if err != nil {
+				return err
+			}
+			exp.FprintFigure4(os.Stdout, rows)
+			return nil
+		},
+		"sens-buffers": func() error {
+			rows, err := exp.SensBuffers(o)
+			if err != nil {
+				return err
+			}
+			exp.FprintSens(os.Stdout, rows, "4-entry buffers")
+			return nil
+		},
+		"sens-cache": func() error {
+			rows, err := exp.SensCache(o)
+			if err != nil {
+				return err
+			}
+			exp.FprintSens(os.Stdout, rows, "16-KB SLC")
+			return nil
+		},
+		"dir": func() error {
+			rows, err := exp.DirectoryStudy(o)
+			if err != nil {
+				return err
+			}
+			exp.FprintDirectory(os.Stdout, rows)
+			return nil
+		},
+		"assoc": func() error {
+			rows, err := exp.AssociativityStudy(o)
+			if err != nil {
+				return err
+			}
+			exp.FprintAssoc(os.Stdout, rows)
+			return nil
+		},
+		"cost": func() error {
+			rows, err := exp.CostPerformance(o, "mp3d")
+			if err != nil {
+				return err
+			}
+			exp.FprintCost(os.Stdout, "mp3d", rows)
+			return nil
+		},
+		"scaling": func() error {
+			rows, err := exp.ScalingStudy(o)
+			if err != nil {
+				return err
+			}
+			exp.FprintScaling(os.Stdout, rows)
+			return nil
+		},
+	}
+
+	order := []string{"table1", "fig2", "table2", "fig3", "table3", "fig4", "sens-buffers", "sens-cache", "dir", "assoc", "scaling", "cost"}
+	if *which == "all" {
+		for _, name := range order {
+			run(name, experiments[name])
+		}
+		return
+	}
+	fn, ok := experiments[*which]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; have %v and all\n", *which, order)
+		os.Exit(2)
+	}
+	run(*which, fn)
+}

@@ -1,0 +1,75 @@
+// Producerconsumer: a phase-synchronized producer/consumer kernel built on
+// the public Stream API, showing how the competitive-update mechanism turns
+// a write-invalidate protocol's steady coherence misses into updates — and
+// what that costs in write traffic, the trade-off CW exists to balance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccsim"
+)
+
+const (
+	procs  = 8
+	blocks = 16 // shared buffer: one producer-written block each, read by all
+	phases = 30
+)
+
+func stream(id int) ccsim.Stream {
+	ops := []ccsim.Op{{Kind: ccsim.StatsOn}}
+	for ph := 0; ph < phases; ph++ {
+		if id == 0 {
+			// The producer rewrites the shared buffer each phase.
+			for b := 0; b < blocks; b++ {
+				ops = append(ops,
+					ccsim.Op{Kind: ccsim.Write, Addr: uint64(b * 32)},
+					ccsim.Op{Kind: ccsim.Busy, Cycles: 20},
+				)
+			}
+		} else {
+			// Consumers read it.
+			for b := 0; b < blocks; b++ {
+				ops = append(ops,
+					ccsim.Op{Kind: ccsim.Read, Addr: uint64(b * 32)},
+					ccsim.Op{Kind: ccsim.Busy, Cycles: 20},
+				)
+			}
+		}
+		ops = append(ops, ccsim.Op{Kind: ccsim.Barrier, Bar: ph})
+	}
+	return ccsim.Ops(ops...)
+}
+
+func run(cw bool) *ccsim.Result {
+	cfg := ccsim.DefaultConfig()
+	cfg.Procs = procs
+	cfg.Extensions = ccsim.Ext{CW: cw}
+	streams := make([]ccsim.Stream, procs)
+	for i := range streams {
+		streams[i] = stream(i)
+	}
+	r, err := ccsim.RunStreams(cfg, streams)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
+
+func main() {
+	basic := run(false)
+	cw := run(true)
+
+	fmt.Printf("1 producer, %d consumers, %d phases over a %d-block buffer:\n\n", procs-1, phases, blocks)
+	for _, r := range []*ccsim.Result{basic, cw} {
+		n := float64(r.Procs)
+		fmt.Printf("%-6s exec %8d | read stall/proc %7.0f | coherence misses %5d | traffic %7d B (updates %6d B)\n",
+			r.Protocol, r.ExecTime, float64(r.ReadStall)/n,
+			r.CoherenceMisses, r.TrafficBytes, r.UpdateBytes)
+	}
+	fmt.Printf("\ncoherence misses cut by %.0f%% — the consumers keep reading, so their\n",
+		100*(1-float64(cw.CoherenceMisses)/float64(basic.CoherenceMisses)))
+	fmt.Println("competitive counters keep being preset and the copies stay alive,")
+	fmt.Println("receiving updates instead of invalidations (paper §3.3).")
+}

@@ -1,0 +1,389 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (Dahlgren, Dubois & Stenström, ISCA 1994, §5). Each function runs the
+// required simulations and returns structured rows; the Fprint helpers
+// render them in the paper's layout. cmd/experiments and the repository's
+// benchmarks are thin wrappers around this package.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"ccsim"
+)
+
+// Combo names one protocol-extension combination in the paper's order.
+type Combo struct {
+	Name string
+	Ext  ccsim.Ext
+}
+
+// Combos returns the eight combinations as Figure 2 orders them:
+// BASIC, P, CW, M, P+CW, P+M, CW+M, P+CW+M.
+func Combos() []Combo {
+	return []Combo{
+		{"BASIC", ccsim.Ext{}},
+		{"P", ccsim.Ext{P: true}},
+		{"CW", ccsim.Ext{CW: true}},
+		{"M", ccsim.Ext{M: true}},
+		{"P+CW", ccsim.Ext{P: true, CW: true}},
+		{"P+M", ccsim.Ext{P: true, M: true}},
+		{"CW+M", ccsim.Ext{CW: true, M: true}},
+		{"P+CW+M", ccsim.Ext{P: true, CW: true, M: true}},
+	}
+}
+
+// Options tune a whole experiment sweep.
+type Options struct {
+	Scale float64 // workload problem-size multiplier (1.0 = default)
+	Procs int     // processors (paper: 16)
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options { return Options{Scale: 1.0, Procs: 16} }
+
+func (o Options) config(wl string) ccsim.Config {
+	cfg := ccsim.DefaultConfig()
+	cfg.Workload = wl
+	cfg.Scale = o.Scale
+	cfg.Procs = o.Procs
+	return cfg
+}
+
+// Fig2Row is one bar of Figure 2: a protocol's execution time under RC
+// relative to BASIC, decomposed into busy, read-stall and acquire-stall
+// shares (of the BASIC execution time, so bars compare directly).
+type Fig2Row struct {
+	Workload string
+	Protocol string
+	Relative float64 // execution time / BASIC's
+	Busy     float64 // per-processor busy share of BASIC exec time
+	Read     float64
+	Acquire  float64
+
+	Result *ccsim.Result
+}
+
+// Figure2 reproduces Figure 2: all eight protocols under release
+// consistency on the contention-free network.
+func Figure2(o Options) ([]Fig2Row, error) {
+	var rows []Fig2Row
+	for _, wl := range ccsim.Workloads() {
+		var base *ccsim.Result
+		for _, c := range Combos() {
+			cfg := o.config(wl)
+			cfg.Extensions = c.Ext
+			r, err := ccsim.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig2 %s/%s: %w", wl, c.Name, err)
+			}
+			if base == nil {
+				base = r
+			}
+			denom := float64(base.ExecTime) * float64(o.Procs)
+			rows = append(rows, Fig2Row{
+				Workload: wl,
+				Protocol: c.Name,
+				Relative: r.RelativeTo(base),
+				Busy:     float64(r.Busy) / denom,
+				Read:     float64(r.ReadStall) / denom,
+				Acquire:  float64(r.AcquireStall) / denom,
+				Result:   r,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FprintFigure2 renders Figure 2 rows.
+func FprintFigure2(w io.Writer, rows []Fig2Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tprotocol\trelative\tbusy\tread\tacquire")
+	last := ""
+	for _, r := range rows {
+		name := r.Workload
+		if name == last {
+			name = ""
+		} else {
+			last = r.Workload
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			name, r.Protocol, r.Relative, r.Busy, r.Read, r.Acquire)
+	}
+	tw.Flush()
+}
+
+// Table2Row is one application row of Table 2: the cold and coherence
+// miss-rate components (percent of shared reads) for BASIC, P, CW and P+CW.
+type Table2Row struct {
+	Workload string
+	Cold     map[string]float64 // protocol -> cold %
+	Coh      map[string]float64 // protocol -> coherence %
+}
+
+// Table2Protocols lists the protocols Table 2 compares.
+var Table2Protocols = []string{"BASIC", "P", "CW", "P+CW"}
+
+// Table2 reproduces Table 2's miss-rate components under RC.
+func Table2(o Options) ([]Table2Row, error) {
+	combos := map[string]ccsim.Ext{
+		"BASIC": {}, "P": {P: true}, "CW": {CW: true}, "P+CW": {P: true, CW: true},
+	}
+	var rows []Table2Row
+	for _, wl := range ccsim.Workloads() {
+		row := Table2Row{Workload: wl, Cold: map[string]float64{}, Coh: map[string]float64{}}
+		for _, name := range Table2Protocols {
+			cfg := o.config(wl)
+			cfg.Extensions = combos[name]
+			r, err := ccsim.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s/%s: %w", wl, name, err)
+			}
+			row.Cold[name] = r.ColdMissRate()
+			row.Coh[name] = r.CoherenceMissRate()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintTable2 renders Table 2.
+func FprintTable2(w io.Writer, rows []Table2Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "appl.")
+	for _, p := range Table2Protocols {
+		fmt.Fprintf(tw, "\t%s cold\t%s coh", p, p)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s", r.Workload)
+		for _, p := range Table2Protocols {
+			fmt.Fprintf(tw, "\t%.2f\t%.2f", r.Cold[p], r.Coh[p])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// Fig3Row is one bar of Figure 3: execution time under sequential
+// consistency relative to B-SC, decomposed into all five components, plus
+// the comparison against BASIC under RC (the figure's dashed line).
+type Fig3Row struct {
+	Workload  string
+	Protocol  string
+	Relative  float64 // vs B-SC
+	Busy      float64
+	Read      float64
+	Write     float64
+	Acquire   float64
+	Release   float64
+	VsBasicRC float64 // execution time / BASIC-RC's (dashed line = 1.0)
+
+	Result *ccsim.Result
+}
+
+// Figure3Protocols lists the SC designs of Figure 3.
+var Figure3Protocols = []Combo{
+	{"B-SC", ccsim.Ext{}},
+	{"P", ccsim.Ext{P: true}},
+	{"M-SC", ccsim.Ext{M: true}},
+	{"P+M", ccsim.Ext{P: true, M: true}},
+}
+
+// Figure3 reproduces Figure 3: P and M under sequential consistency (CW is
+// not feasible under SC), with BASIC-RC as the reference line.
+func Figure3(o Options) ([]Fig3Row, error) {
+	var rows []Fig3Row
+	for _, wl := range ccsim.Workloads() {
+		rcCfg := o.config(wl)
+		basicRC, err := ccsim.Run(rcCfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s/BASIC-RC: %w", wl, err)
+		}
+		var base *ccsim.Result
+		for _, c := range Figure3Protocols {
+			cfg := o.config(wl)
+			cfg.Extensions = c.Ext
+			cfg.SC = true
+			r, err := ccsim.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s/%s: %w", wl, c.Name, err)
+			}
+			if base == nil {
+				base = r
+			}
+			denom := float64(base.ExecTime) * float64(o.Procs)
+			rows = append(rows, Fig3Row{
+				Workload:  wl,
+				Protocol:  c.Name,
+				Relative:  r.RelativeTo(base),
+				Busy:      float64(r.Busy) / denom,
+				Read:      float64(r.ReadStall) / denom,
+				Write:     float64(r.WriteStall) / denom,
+				Acquire:   float64(r.AcquireStall) / denom,
+				Release:   float64(r.ReleaseStall) / denom,
+				VsBasicRC: float64(r.ExecTime) / float64(basicRC.ExecTime),
+				Result:    r,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FprintFigure3 renders Figure 3 rows.
+func FprintFigure3(w io.Writer, rows []Fig3Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tprotocol\trel(B-SC)\tbusy\tread\twrite\tacquire\trelease\tvs BASIC-RC")
+	last := ""
+	for _, r := range rows {
+		name := r.Workload
+		if name == last {
+			name = ""
+		} else {
+			last = r.Workload
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			name, r.Protocol, r.Relative, r.Busy, r.Read, r.Write, r.Acquire, r.Release, r.VsBasicRC)
+	}
+	tw.Flush()
+}
+
+// Table3Row is one application row of Table 3: execution-time ratios of
+// P+CW and P+M to BASIC on wormhole meshes of each link width, under RC.
+type Table3Row struct {
+	Workload string
+	PCW      map[int]float64 // link bits -> exec(P+CW)/exec(BASIC)
+	PM       map[int]float64
+}
+
+// Table3LinkWidths are the mesh link widths the paper sweeps.
+var Table3LinkWidths = []int{64, 32, 16}
+
+// Table3 reproduces Table 3: the impact of network contention.
+func Table3(o Options) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, wl := range ccsim.Workloads() {
+		row := Table3Row{Workload: wl, PCW: map[int]float64{}, PM: map[int]float64{}}
+		for _, bits := range Table3LinkWidths {
+			run := func(e ccsim.Ext) (*ccsim.Result, error) {
+				cfg := o.config(wl)
+				cfg.Extensions = e
+				cfg.Net = ccsim.Mesh
+				cfg.LinkBits = bits
+				return ccsim.Run(cfg)
+			}
+			base, err := run(ccsim.Ext{})
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s/BASIC/%d: %w", wl, bits, err)
+			}
+			pcw, err := run(ccsim.Ext{P: true, CW: true})
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s/P+CW/%d: %w", wl, bits, err)
+			}
+			pm, err := run(ccsim.Ext{P: true, M: true})
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s/P+M/%d: %w", wl, bits, err)
+			}
+			row.PCW[bits] = pcw.RelativeTo(base)
+			row.PM[bits] = pm.RelativeTo(base)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintTable3 renders Table 3.
+func FprintTable3(w io.Writer, rows []Table3Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "links")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "\t%s", r.Workload)
+	}
+	fmt.Fprintln(tw)
+	for _, proto := range []string{"P+CW", "P+M"} {
+		fmt.Fprintf(tw, "%s\n", proto)
+		for _, bits := range Table3LinkWidths {
+			fmt.Fprintf(tw, "  %d-bit", bits)
+			for _, r := range rows {
+				v := r.PCW[bits]
+				if proto == "P+M" {
+					v = r.PM[bits]
+				}
+				fmt.Fprintf(tw, "\t%.2f", v)
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	tw.Flush()
+}
+
+// Fig4Row is one bar of Figure 4: a protocol's total network traffic
+// normalized to BASIC's.
+type Fig4Row struct {
+	Workload string
+	Protocol string
+	Traffic  float64 // bytes / BASIC bytes
+}
+
+// Figure4Protocols lists the protocols Figure 4 plots.
+var Figure4Protocols = []Combo{
+	{"BASIC", ccsim.Ext{}},
+	{"P", ccsim.Ext{P: true}},
+	{"CW", ccsim.Ext{CW: true}},
+	{"M", ccsim.Ext{M: true}},
+	{"P+CW", ccsim.Ext{P: true, CW: true}},
+	{"P+M", ccsim.Ext{P: true, M: true}},
+}
+
+// Figure4 reproduces Figure 4: total network traffic per protocol,
+// normalized to BASIC, under RC on the uniform network.
+func Figure4(o Options) ([]Fig4Row, error) {
+	var rows []Fig4Row
+	for _, wl := range ccsim.Workloads() {
+		var base *ccsim.Result
+		for _, c := range Figure4Protocols {
+			cfg := o.config(wl)
+			cfg.Extensions = c.Ext
+			r, err := ccsim.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig4 %s/%s: %w", wl, c.Name, err)
+			}
+			if base == nil {
+				base = r
+			}
+			rows = append(rows, Fig4Row{
+				Workload: wl,
+				Protocol: c.Name,
+				Traffic:  r.TrafficRelativeTo(base),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FprintFigure4 renders Figure 4 rows as the paper's percentages.
+func FprintFigure4(w io.Writer, rows []Fig4Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "workload")
+	for _, c := range Figure4Protocols {
+		fmt.Fprintf(tw, "\t%s", c.Name)
+	}
+	fmt.Fprintln(tw)
+	byWl := map[string][]Fig4Row{}
+	var order []string
+	for _, r := range rows {
+		if len(byWl[r.Workload]) == 0 {
+			order = append(order, r.Workload)
+		}
+		byWl[r.Workload] = append(byWl[r.Workload], r)
+	}
+	for _, wl := range order {
+		fmt.Fprintf(tw, "%s", wl)
+		for _, r := range byWl[wl] {
+			fmt.Fprintf(tw, "\t%.0f%%", 100*r.Traffic)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

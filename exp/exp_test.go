@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ccsim"
+)
+
+// tiny shrinks everything so the whole evaluation runs in seconds.
+func tiny() Options { return Options{Scale: 0.08, Procs: 8} }
+
+func TestCombosMatchPaperOrder(t *testing.T) {
+	want := []string{"BASIC", "P", "CW", "M", "P+CW", "P+M", "CW+M", "P+CW+M"}
+	combos := Combos()
+	if len(combos) != len(want) {
+		t.Fatalf("%d combos", len(combos))
+	}
+	for i, c := range combos {
+		if c.Name != want[i] {
+			t.Fatalf("combo %d = %s, want %s", i, c.Name, want[i])
+		}
+		cfg := ccsim.DefaultConfig()
+		cfg.Extensions = c.Ext
+		if got := cfg.ProtocolName(); got != c.Name {
+			t.Fatalf("combo %s builds protocol %s", c.Name, got)
+		}
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	rows, err := Figure2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ccsim.Workloads())*len(Combos()) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Protocol == "BASIC" && r.Relative != 1.0 {
+			t.Fatalf("%s BASIC relative = %v", r.Workload, r.Relative)
+		}
+		if r.Relative <= 0 || r.Busy < 0 || r.Read < 0 || r.Acquire < 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+		// The decomposition shares must roughly bound the relative time
+		// (per-processor components cannot exceed the wall time by much;
+		// load imbalance makes them smaller).
+		if sum := r.Busy + r.Read + r.Acquire; sum > r.Relative*1.05 {
+			t.Fatalf("%s/%s decomposition %v exceeds relative %v", r.Workload, r.Protocol, sum, r.Relative)
+		}
+	}
+	var buf bytes.Buffer
+	FprintFigure2(&buf, rows)
+	if !strings.Contains(buf.String(), "P+CW+M") {
+		t.Fatal("rendering lost rows")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ccsim.Workloads()) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		for _, p := range Table2Protocols {
+			if r.Cold[p] < 0 || r.Cold[p] > 100 || r.Coh[p] < 0 || r.Coh[p] > 100 {
+				t.Fatalf("%s/%s rates out of range: %v / %v", r.Workload, p, r.Cold[p], r.Coh[p])
+			}
+		}
+		// P must cut the cold component; CW must not increase it.
+		if r.Cold["P"] >= r.Cold["BASIC"] {
+			t.Errorf("%s: P cold %.2f >= BASIC %.2f", r.Workload, r.Cold["P"], r.Cold["BASIC"])
+		}
+	}
+	var buf bytes.Buffer
+	FprintTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "mp3d") {
+		t.Fatal("rendering lost rows")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	rows, err := Figure3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ccsim.Workloads())*len(Figure3Protocols) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byKey := map[string]Fig3Row{}
+	for _, r := range rows {
+		byKey[r.Workload+"/"+r.Protocol] = r
+	}
+	// M-SC must cut the write stall for the migratory applications.
+	for _, wl := range []string{"mp3d", "cholesky", "water"} {
+		if byKey[wl+"/M-SC"].Write >= byKey[wl+"/B-SC"].Write {
+			t.Errorf("%s: M-SC write share %.3f >= B-SC %.3f", wl,
+				byKey[wl+"/M-SC"].Write, byKey[wl+"/B-SC"].Write)
+		}
+	}
+	var buf bytes.Buffer
+	FprintFigure3(&buf, rows)
+	if !strings.Contains(buf.String(), "M-SC") {
+		t.Fatal("rendering lost rows")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ccsim.Workloads()) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		for _, bits := range Table3LinkWidths {
+			if r.PCW[bits] <= 0 || r.PM[bits] <= 0 {
+				t.Fatalf("%s: missing ratios at %d bits", r.Workload, bits)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	FprintTable3(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "16-bit") || !strings.Contains(out, "P+M") {
+		t.Fatalf("rendering wrong:\n%s", out)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	rows, err := Figure4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		byKey[r.Workload+"/"+r.Protocol] = r.Traffic
+		if r.Protocol == "BASIC" && r.Traffic != 1.0 {
+			t.Fatalf("%s BASIC traffic = %v", r.Workload, r.Traffic)
+		}
+	}
+	// M must reduce traffic for the migratory applications (fewer
+	// ownership/invalidation transactions).
+	for _, wl := range []string{"mp3d", "cholesky"} {
+		if byKey[wl+"/M"] >= 1.0 {
+			t.Errorf("%s: M traffic %.2f >= BASIC", wl, byKey[wl+"/M"])
+		}
+	}
+	var buf bytes.Buffer
+	FprintFigure4(&buf, rows)
+	if !strings.Contains(buf.String(), "%") {
+		t.Fatal("rendering lost percentages")
+	}
+}
+
+func TestSensitivityShapes(t *testing.T) {
+	buf, err := SensBuffers(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := SensCache(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != len(cache) || len(buf) != len(ccsim.Workloads())*len(Combos()) {
+		t.Fatalf("row counts: %d, %d", len(buf), len(cache))
+	}
+	for _, r := range append(buf, cache...) {
+		if r.Default <= 0 || r.Limited <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	var out bytes.Buffer
+	FprintSens(&out, buf, "4-entry buffers")
+	if !strings.Contains(out.String(), "4-entry buffers") {
+		t.Fatal("rendering lost header")
+	}
+}
+
+func TestFprintTable1(t *testing.T) {
+	var buf bytes.Buffer
+	FprintTable1(&buf, 16)
+	out := buf.String()
+	for _, want := range []string{"BASIC", "write cache with four blocks", "16 presence bits"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}

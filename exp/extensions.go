@@ -1,0 +1,277 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"ccsim"
+)
+
+// The studies in this file go beyond the paper's evaluation: they exercise
+// design axes the paper's framework invites but does not sweep — directory
+// organization, cache associativity, and machine size. DESIGN.md lists them
+// as extension experiments.
+
+// DirRow compares directory organizations for one workload under the best
+// RC combination (P+CW) and under BASIC.
+type DirRow struct {
+	Workload   string
+	Pointers   int // 0 = full map
+	Basic      float64
+	PCW        float64
+	Overflows  uint64
+	Broadcasts uint64
+}
+
+// DirPointerSweep lists the directory organizations DirectoryStudy sweeps:
+// the paper's full map plus Dir4B, Dir2B and Dir1B limited-pointer
+// directories.
+var DirPointerSweep = []int{0, 4, 2, 1}
+
+// DirectoryStudy sweeps limited-pointer directories: execution time
+// relative to the full-map BASIC of the same workload, plus overflow and
+// broadcast counts.
+func DirectoryStudy(o Options) ([]DirRow, error) {
+	var rows []DirRow
+	for _, wl := range ccsim.Workloads() {
+		var fullBasic *ccsim.Result
+		for _, ptrs := range DirPointerSweep {
+			run := func(e ccsim.Ext) (*ccsim.Result, error) {
+				cfg := o.config(wl)
+				cfg.Extensions = e
+				cfg.DirPointers = ptrs
+				return ccsim.Run(cfg)
+			}
+			basic, err := run(ccsim.Ext{})
+			if err != nil {
+				return nil, fmt.Errorf("dir %s/%d: %w", wl, ptrs, err)
+			}
+			pcw, err := run(ccsim.Ext{P: true, CW: true})
+			if err != nil {
+				return nil, fmt.Errorf("dir %s/%d: %w", wl, ptrs, err)
+			}
+			if fullBasic == nil {
+				fullBasic = basic
+			}
+			rows = append(rows, DirRow{
+				Workload:   wl,
+				Pointers:   ptrs,
+				Basic:      basic.RelativeTo(fullBasic),
+				PCW:        pcw.RelativeTo(fullBasic),
+				Overflows:  basic.PointerOverflows,
+				Broadcasts: basic.BroadcastInvs,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FprintDirectory renders the directory study.
+func FprintDirectory(w io.Writer, rows []DirRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tdirectory\tBASIC\tP+CW\toverflows\tbroadcasts")
+	last := ""
+	for _, r := range rows {
+		name := r.Workload
+		if name == last {
+			name = ""
+		} else {
+			last = r.Workload
+		}
+		dir := "full map"
+		if r.Pointers > 0 {
+			dir = fmt.Sprintf("Dir%dB", r.Pointers)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%d\t%d\n",
+			name, dir, r.Basic, r.PCW, r.Overflows, r.Broadcasts)
+	}
+	tw.Flush()
+}
+
+// AssocRow compares SLC associativities at a fixed 16-KB capacity.
+type AssocRow struct {
+	Workload string
+	Ways     int
+	Basic    float64 // relative to 1-way BASIC
+	P        float64
+}
+
+// AssocWays lists the associativities AssociativityStudy sweeps.
+var AssocWays = []int{1, 2, 4}
+
+// AssociativityStudy sweeps the 16-KB SLC's associativity: the paper uses
+// direct-mapped caches; associativity absorbs the conflict misses that
+// prefetching otherwise hides.
+func AssociativityStudy(o Options) ([]AssocRow, error) {
+	var rows []AssocRow
+	for _, wl := range ccsim.Workloads() {
+		var base *ccsim.Result
+		for _, ways := range AssocWays {
+			run := func(e ccsim.Ext) (*ccsim.Result, error) {
+				cfg := o.config(wl)
+				cfg.Extensions = e
+				cfg.SLCBlocks = 512 // 16 KB
+				cfg.SLCWays = ways
+				return ccsim.Run(cfg)
+			}
+			basic, err := run(ccsim.Ext{})
+			if err != nil {
+				return nil, fmt.Errorf("assoc %s/%d: %w", wl, ways, err)
+			}
+			p, err := run(ccsim.Ext{P: true})
+			if err != nil {
+				return nil, fmt.Errorf("assoc %s/%d: %w", wl, ways, err)
+			}
+			if base == nil {
+				base = basic
+			}
+			rows = append(rows, AssocRow{
+				Workload: wl,
+				Ways:     ways,
+				Basic:    basic.RelativeTo(base),
+				P:        p.RelativeTo(base),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FprintAssoc renders the associativity study.
+func FprintAssoc(w io.Writer, rows []AssocRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tways\tBASIC\tP")
+	last := ""
+	for _, r := range rows {
+		name := r.Workload
+		if name == last {
+			name = ""
+		} else {
+			last = r.Workload
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\n", name, r.Ways, r.Basic, r.P)
+	}
+	tw.Flush()
+}
+
+// ScaleRow reports one workload's execution time at a machine size, for
+// BASIC and P+CW, normalized to the 4-processor BASIC run of the same
+// workload (smaller is better; perfect scaling would quarter per step).
+type ScaleRow struct {
+	Workload string
+	Procs    int
+	Basic    float64
+	PCW      float64
+}
+
+// ScaleProcs lists the machine sizes ScalingStudy sweeps.
+var ScaleProcs = []int{4, 8, 16, 32}
+
+// ScalingStudy sweeps the processor count at a fixed problem size (strong
+// scaling). The combined extensions should keep their advantage as the
+// machine grows — communication grows with sharing, which is exactly what
+// P and CW attack.
+func ScalingStudy(o Options) ([]ScaleRow, error) {
+	var rows []ScaleRow
+	for _, wl := range ccsim.Workloads() {
+		var base *ccsim.Result
+		for _, procs := range ScaleProcs {
+			run := func(e ccsim.Ext) (*ccsim.Result, error) {
+				cfg := o.config(wl)
+				cfg.Procs = procs
+				cfg.Extensions = e
+				return ccsim.Run(cfg)
+			}
+			basic, err := run(ccsim.Ext{})
+			if err != nil {
+				return nil, fmt.Errorf("scale %s/%d: %w", wl, procs, err)
+			}
+			pcw, err := run(ccsim.Ext{P: true, CW: true})
+			if err != nil {
+				return nil, fmt.Errorf("scale %s/%d: %w", wl, procs, err)
+			}
+			if base == nil {
+				base = basic
+			}
+			rows = append(rows, ScaleRow{
+				Workload: wl,
+				Procs:    procs,
+				Basic:    basic.RelativeTo(base),
+				PCW:      pcw.RelativeTo(base),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FprintScaling renders the scaling study.
+func FprintScaling(w io.Writer, rows []ScaleRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tprocs\tBASIC\tP+CW")
+	last := ""
+	for _, r := range rows {
+		name := r.Workload
+		if name == last {
+			name = ""
+		} else {
+			last = r.Workload
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\n", name, r.Procs, r.Basic, r.PCW)
+	}
+	tw.Flush()
+}
+
+// CostRow relates one combination's performance gain to the storage it
+// adds — the companion technical report's cost/performance trade-off,
+// computed for one workload.
+type CostRow struct {
+	Protocol  string
+	Relative  float64 // execution time / BASIC's
+	ExtraBits int64   // storage added per node over BASIC
+	// GainPerKbit is the percentage-point execution-time reduction bought
+	// per kilobit of added state (0 when nothing was added).
+	GainPerKbit float64
+}
+
+// CostPerformance runs every combination on the named workload and prices
+// its gain against its storage cost. Geometry: a 16-KB SLC (512 frames)
+// and 1 MB of local memory (32 K blocks).
+func CostPerformance(o Options, workloadName string) ([]CostRow, error) {
+	const slcFrames, memBlocks = 512, 1 << 15
+	baseCfg := o.config(workloadName)
+	base, err := ccsim.Run(baseCfg)
+	if err != nil {
+		return nil, err
+	}
+	baseBits := ccsim.ComputeStorage(baseCfg, slcFrames, memBlocks)
+	var rows []CostRow
+	for _, c := range Combos() {
+		cfg := o.config(workloadName)
+		cfg.Extensions = c.Ext
+		r, err := ccsim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("cost %s/%s: %w", workloadName, c.Name, err)
+		}
+		extra := ccsim.ComputeStorage(cfg, slcFrames, memBlocks).ExtraBitsOver(baseBits)
+		row := CostRow{
+			Protocol:  c.Name,
+			Relative:  r.RelativeTo(base),
+			ExtraBits: extra,
+		}
+		if extra > 0 {
+			row.GainPerKbit = 100 * (1 - row.Relative) / (float64(extra) / 1024)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintCost renders the cost/performance table.
+func FprintCost(w io.Writer, workloadName string, rows []CostRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "protocol\trelative (%s)\textra bits/node\tgain %%/kbit\n", workloadName)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%d\t%.2f\n", r.Protocol, r.Relative, r.ExtraBits, r.GainPerKbit)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ccsim"
+)
+
+func TestDirectoryStudyShape(t *testing.T) {
+	rows, err := DirectoryStudy(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ccsim.Workloads())*len(DirPointerSweep) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byKey := map[string]DirRow{}
+	for _, r := range rows {
+		byKey[r.Workload+"/"+itoa(r.Pointers)] = r
+		if r.Basic <= 0 || r.PCW <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	// The full map never overflows; Dir1B must overflow for workloads with
+	// any read sharing, and its BASIC must not beat the full map.
+	for _, wl := range ccsim.Workloads() {
+		full := byKey[wl+"/0"]
+		one := byKey[wl+"/1"]
+		if full.Overflows != 0 {
+			t.Errorf("%s: full map recorded overflows", wl)
+		}
+		if one.Basic < full.Basic-0.01 {
+			t.Errorf("%s: Dir1B BASIC (%.3f) beats full map (%.3f)", wl, one.Basic, full.Basic)
+		}
+	}
+	var buf bytes.Buffer
+	FprintDirectory(&buf, rows)
+	if !strings.Contains(buf.String(), "Dir1B") || !strings.Contains(buf.String(), "full map") {
+		t.Fatal("rendering lost directory labels")
+	}
+}
+
+func TestAssociativityStudyShape(t *testing.T) {
+	rows, err := AssociativityStudy(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ccsim.Workloads())*len(AssocWays) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Basic <= 0 || r.P <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	FprintAssoc(&buf, rows)
+	if !strings.Contains(buf.String(), "ways") {
+		t.Fatal("rendering lost header")
+	}
+}
+
+func TestScalingStudyShape(t *testing.T) {
+	rows, err := ScalingStudy(Options{Scale: 0.12, Procs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ccsim.Workloads())*len(ScaleProcs) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byKey := map[string]ScaleRow{}
+	for _, r := range rows {
+		byKey[r.Workload+"/"+itoa(r.Procs)] = r
+	}
+	// Strong scaling: 8 processors must beat 4 for every workload. (At the
+	// test's tiny problem sizes, larger machines become communication-bound
+	// — e.g. Ocean with two rows per processor — which is correct behavior,
+	// so the 16- and 32-processor points are only checked for validity.)
+	for _, wl := range ccsim.Workloads() {
+		if byKey[wl+"/8"].Basic >= byKey[wl+"/4"].Basic {
+			t.Errorf("%s: no speedup from 4 to 8 processors (%.3f vs %.3f)",
+				wl, byKey[wl+"/8"].Basic, byKey[wl+"/4"].Basic)
+		}
+	}
+	var buf bytes.Buffer
+	FprintScaling(&buf, rows)
+	if !strings.Contains(buf.String(), "32") {
+		t.Fatal("rendering lost sizes")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestCostPerformanceShape(t *testing.T) {
+	rows, err := CostPerformance(tiny(), "ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Combos()) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]CostRow{}
+	for _, r := range rows {
+		byName[r.Protocol] = r
+	}
+	if byName["BASIC"].ExtraBits != 0 || byName["BASIC"].Relative != 1.0 {
+		t.Fatalf("BASIC row wrong: %+v", byName["BASIC"])
+	}
+	for _, name := range []string{"P", "CW", "M", "P+CW", "P+M", "CW+M", "P+CW+M"} {
+		if byName[name].ExtraBits <= 0 {
+			t.Errorf("%s adds no storage", name)
+		}
+	}
+	// M's cost is directory-dominated (a pointer per memory line), so it
+	// must cost more bits than P's counters.
+	if byName["M"].ExtraBits <= byName["P"].ExtraBits {
+		t.Errorf("M (%d bits) not above P (%d bits)",
+			byName["M"].ExtraBits, byName["P"].ExtraBits)
+	}
+	var buf bytes.Buffer
+	FprintCost(&buf, "ocean", rows)
+	if !strings.Contains(buf.String(), "gain %/kbit") {
+		t.Fatal("rendering lost header")
+	}
+}

@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"ccsim"
+)
+
+// SensRow compares a protocol's execution time under a constrained
+// configuration against the paper's default, both relative to the
+// constrained BASIC.
+type SensRow struct {
+	Workload string
+	Protocol string
+	Default  float64 // relative exec time, default configuration
+	Limited  float64 // relative exec time, constrained configuration
+}
+
+// SensBuffers reproduces §5.4's buffer study: FLWB and SLWB shrunk to 4
+// entries each under RC. The paper finds only BASIC and P suffer (pending
+// writes); CW, M and their combinations are unaffected.
+func SensBuffers(o Options) ([]SensRow, error) {
+	return sensitivity(o, func(cfg *ccsim.Config) {
+		cfg.FLWBEntries = 4
+		cfg.SLWBEntries = 4
+	})
+}
+
+// SensCache reproduces §5.4's cache study: a finite 16-KB direct-mapped SLC
+// (512 blocks of 32 B). The paper finds the gains persist and P gets even
+// better (replacement misses).
+func SensCache(o Options) ([]SensRow, error) {
+	return sensitivity(o, func(cfg *ccsim.Config) {
+		cfg.SLCBlocks = 512
+	})
+}
+
+func sensitivity(o Options, constrain func(*ccsim.Config)) ([]SensRow, error) {
+	var rows []SensRow
+	for _, wl := range ccsim.Workloads() {
+		var defBase, limBase *ccsim.Result
+		for _, c := range Combos() {
+			defCfg := o.config(wl)
+			defCfg.Extensions = c.Ext
+			def, err := ccsim.Run(defCfg)
+			if err != nil {
+				return nil, fmt.Errorf("sens %s/%s default: %w", wl, c.Name, err)
+			}
+			limCfg := o.config(wl)
+			limCfg.Extensions = c.Ext
+			constrain(&limCfg)
+			lim, err := ccsim.Run(limCfg)
+			if err != nil {
+				return nil, fmt.Errorf("sens %s/%s limited: %w", wl, c.Name, err)
+			}
+			if defBase == nil {
+				defBase, limBase = def, lim
+			}
+			rows = append(rows, SensRow{
+				Workload: wl,
+				Protocol: c.Name,
+				Default:  def.RelativeTo(defBase),
+				Limited:  lim.RelativeTo(limBase),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FprintSens renders a sensitivity comparison.
+func FprintSens(w io.Writer, rows []SensRow, limitedLabel string) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "workload\tprotocol\tdefault\t%s\n", limitedLabel)
+	last := ""
+	for _, r := range rows {
+		name := r.Workload
+		if name == last {
+			name = ""
+		} else {
+			last = r.Workload
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\n", name, r.Protocol, r.Default, r.Limited)
+	}
+	tw.Flush()
+}
+
+// FprintTable1 renders the paper's Table 1 hardware-cost inventory.
+func FprintTable1(w io.Writer, procs int) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "protocol\tSLC state bits/line\tadditional mechanisms\tSLWB features\tmemory bits/line")
+	for _, row := range ccsim.CostTable(procs) {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\n",
+			row.Protocol, row.SLCStateBitsPerLine, row.ExtraCacheMechanisms,
+			row.SLWBNote, row.MemoryBitsPerLine)
+	}
+	tw.Flush()
+}

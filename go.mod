@@ -1,0 +1,3 @@
+module ccsim
+
+go 1.22

@@ -1,0 +1,1075 @@
+package core
+
+import (
+	"fmt"
+
+	"ccsim/internal/cache"
+	"ccsim/internal/memsys"
+	"ccsim/internal/sim"
+	"ccsim/internal/stats"
+	"ccsim/internal/trace"
+)
+
+// mshrKind identifies what a pending-transaction (SLWB) entry is waiting
+// for.
+type mshrKind int
+
+const (
+	mshrRead   mshrKind = iota // read miss or prefetch in flight
+	mshrOwn                    // ownership request in flight
+	mshrUpdate                 // competitive update in flight
+)
+
+// mshr is one lockup-free pending transaction. The SLC itself has no
+// transient states; everything in flight lives here (paper §2: "all pending
+// accesses are kept in the SLWB of the requesting node until they are
+// completed").
+type mshr struct {
+	kind         mshrKind
+	prefetchOnly bool // a prefetch no demand reference has merged with yet
+	countsSLWB   bool
+
+	readers   []readerWait    // demand readers to unblock at fill
+	performed []func()        // write-performed callbacks (sequential consistency)
+	after     []func()        // deferred actions to run at completion
+	nWrites   int             // writes merged into this entry
+	obs       []int           // write obligations this transaction performs
+	words     []int           // words written through this transaction (ownership)
+	mask      memsys.WordMask // words carried by a combined update
+}
+
+// readerWait is one processor read blocked on this transaction; the word
+// lets the data-value checker observe what the reader sees.
+type readerWait struct {
+	word int
+	fn   func()
+}
+
+// flwbWrite is one first-level write-buffer entry. ob is the write's
+// obligation id: releases and barriers wait for all obligations issued
+// before them (and only those) to be globally performed.
+type flwbWrite struct {
+	block     memsys.Block
+	word      int
+	performed func()
+	ob        int
+}
+
+// relKind distinguishes the two drain-point operations in the release
+// queue.
+type relKind int
+
+const (
+	relLock relKind = iota
+	relBarrier
+)
+
+type relReq struct {
+	kind      relKind
+	lock      memsys.Block // for relLock
+	barID     int          // for relBarrier
+	ack       func()       // SC release acknowledgment waiter (nil under RC)
+	mark      int          // obligation ids below this must complete first
+	remaining int          // prior obligations still outstanding
+}
+
+// CacheStats are the per-cache counters the evaluation reports.
+type CacheStats struct {
+	FLCReadMisses   uint64
+	SLCReadMisses   uint64 // demand misses that launched a memory request
+	SLCHits         uint64
+	WCHits          uint64 // reads serviced by the write cache
+	PartialHits     uint64 // demand misses merged with a pending prefetch
+	ReadMissLatency int64  // summed demand-miss service time (pclocks)
+	ReadMissCount   uint64
+	LatencyHist     stats.LatencyHist // distribution of demand-miss service times
+}
+
+// CacheCtl is the second-level cache controller of one node: the
+// lockup-free SLC, the FLC it keeps inclusive, both write buffers, the
+// write cache and prefetcher when enabled, and the release/barrier drain
+// logic of the consistency model.
+type CacheCtl struct {
+	sys *System
+	id  int
+
+	flc    *cache.FLC
+	slc    *cache.SLC
+	slcRes *sim.Resource
+
+	flwb       *cache.FIFO[flwbWrite]
+	flwbWaiter func()
+	draining   bool
+
+	mshrs     map[memsys.Block]*mshr
+	slwbUsed  int
+	wbPending map[memsys.Block]bool
+	wbRequeue map[memsys.Block]int // stamp of a follow-up writeback awaiting the first's ack
+	lastGrant map[memsys.Block]int // grant generation of the dirty copy we hold (writeback tag)
+
+	wc *cache.WriteCache
+	pf *Prefetcher
+
+	// Write obligations: every buffered write gets an id; a release with
+	// mark m fires once every obligation with id < m has performed. This
+	// is exactly RC's "release waits for prior writes only" — later writes
+	// do not delay it.
+	nextOb  int
+	liveObs int
+	wcObs   map[memsys.Block][]int // obligations buffered per write-cache entry
+
+	deferredWrites []flwbWrite
+
+	relQueue      []relReq
+	relAckWaiters []func()
+	lockWaiters   map[memsys.Block]func()
+	barWaiters    map[int]func()
+
+	// Data-value verification bookkeeping.
+	lastSeen map[memsys.Block]*memsys.BlockData // versions this processor observed
+	wbData   map[memsys.Block]memsys.BlockData  // payloads of in-flight writebacks
+	wbMask   map[memsys.Block]memsys.WordMask
+
+	// Measurements.
+	Cls       *stats.Classifier
+	Misses    stats.Misses
+	CStats    CacheStats
+	missStart map[memsys.Block]sim.Time
+}
+
+func newSLC(p Params) *cache.SLC {
+	ways := p.SLCWays
+	if ways == 0 {
+		ways = 1
+	}
+	return cache.NewSLCAssoc(p.SLCSets, ways)
+}
+
+func newCacheCtl(s *System, id int) *CacheCtl {
+	c := &CacheCtl{
+		sys:         s,
+		id:          id,
+		flc:         cache.NewFLC(s.P.FLCSets),
+		slc:         newSLC(s.P),
+		slcRes:      sim.NewResource(s.Eng, fmt.Sprintf("slc%d", id)),
+		flwb:        cache.NewFIFO[flwbWrite](s.P.FLWBEntries),
+		mshrs:       make(map[memsys.Block]*mshr),
+		wbPending:   make(map[memsys.Block]bool),
+		wbRequeue:   make(map[memsys.Block]int),
+		lastGrant:   make(map[memsys.Block]int),
+		lockWaiters: make(map[memsys.Block]func()),
+		wcObs:       make(map[memsys.Block][]int),
+		lastSeen:    make(map[memsys.Block]*memsys.BlockData),
+		wbData:      make(map[memsys.Block]memsys.BlockData),
+		wbMask:      make(map[memsys.Block]memsys.WordMask),
+		barWaiters:  make(map[int]func()),
+		Cls:         stats.NewClassifier(),
+		missStart:   make(map[memsys.Block]sim.Time),
+	}
+	if s.P.CW {
+		c.wc = cache.NewWriteCache(s.P.WriteCacheBlocks)
+	}
+	if s.P.P {
+		c.pf = NewPrefetcher(s.P.PrefetchMaxK, s.P.PrefetchHighMark, s.P.PrefetchLowMark)
+	}
+	return c
+}
+
+// Prefetcher exposes the node's prefetcher (nil when P is off).
+func (c *CacheCtl) Prefetcher() *Prefetcher { return c.pf }
+
+// WriteCache exposes the node's write cache (nil when CW is off).
+func (c *CacheCtl) WriteCache() *cache.WriteCache { return c.wc }
+
+func (c *CacheCtl) idle() bool {
+	return len(c.mshrs) == 0 && len(c.wbPending) == 0 && len(c.wbRequeue) == 0 &&
+		c.flwb.Empty() && len(c.deferredWrites) == 0 && len(c.relQueue) == 0 && !c.draining
+}
+
+// completeObs retires write obligations and re-checks queued releases.
+func (c *CacheCtl) completeObs(obs []int) {
+	if len(obs) == 0 {
+		return
+	}
+	c.liveObs -= len(obs)
+	for i := range c.relQueue {
+		r := &c.relQueue[i]
+		for _, ob := range obs {
+			if ob < r.mark {
+				r.remaining--
+			}
+		}
+	}
+	c.tryRelease()
+}
+
+func (c *CacheCtl) forEachLine(fn func(b memsys.Block, state string, dirty bool)) {
+	c.slc.ForEach(func(l *cache.Line) {
+		fn(l.Block, l.State.String(), l.State == cache.Dirty)
+	})
+}
+
+func (c *CacheCtl) send(m *Msg) {
+	m.Src = c.id
+	c.sys.Send(m)
+}
+
+func (c *CacheCtl) statsOn() bool { return c.sys.statsOn }
+
+// observe checks the data-value invariant for a read of word w returning
+// version v: per processor and location, observed versions never decrease.
+func (c *CacheCtl) observe(b memsys.Block, w int, v int64) {
+	if c.sys.verSeq == nil {
+		return
+	}
+	last := c.lastSeen[b]
+	if last == nil {
+		last = &memsys.BlockData{}
+		c.lastSeen[b] = last
+	}
+	if v < last[w] {
+		c.sys.dataViolation("node %d read block %d word %d version %d after seeing %d",
+			c.id, b, w, v, last[w])
+	}
+	last[w] = v
+}
+
+// performLocal serializes a write into an exclusive line.
+func (c *CacheCtl) performLocal(line *cache.Line, b memsys.Block, w int) {
+	if c.sys.verSeq == nil {
+		return
+	}
+	line.Data[w] = c.sys.nextVersion(b, w)
+}
+
+// ---------- Processor interface ----------
+
+// Read issues a processor load for address a. It returns true on an FLC hit
+// (data available this cycle); otherwise it returns false and unblock runs
+// when the block reaches the FLC.
+func (c *CacheCtl) Read(a memsys.Addr, unblock func()) bool {
+	b := memsys.BlockOf(a)
+	if c.flc.Lookup(b) {
+		if c.sys.verSeq != nil {
+			// Inclusion guarantees the SLC holds the block too; observe the
+			// version the processor sees.
+			if line := c.slc.Lookup(b); line != nil {
+				c.observe(b, memsys.WordIndex(a), line.Data[memsys.WordIndex(a)])
+			} else {
+				c.sys.dataViolation("node %d: FLC hit on block %d without SLC inclusion", c.id, b)
+			}
+		}
+		return true
+	}
+	if c.statsOn() {
+		c.CStats.FLCReadMisses++
+	}
+	word := memsys.WordIndex(a)
+	c.slcRes.UsePipelined(c.sys.P.Timing.SLCCycle, c.sys.P.Timing.SLCAccess, func() { c.readSLC(b, word, unblock) })
+	return false
+}
+
+func (c *CacheCtl) readSLC(b memsys.Block, word int, unblock func()) {
+	if ms := c.mshrs[b]; ms != nil {
+		switch ms.kind {
+		case mshrRead:
+			if ms.prefetchOnly {
+				// Demand reference merging with a pending prefetch.
+				ms.prefetchOnly = false
+				if c.statsOn() {
+					c.CStats.PartialHits++
+				}
+				if c.pf != nil {
+					c.pf.OnPartialHit()
+				}
+			}
+			ms.readers = append(ms.readers, readerWait{word, unblock})
+			return
+		case mshrOwn, mshrUpdate:
+			if line := c.slc.Lookup(b); line != nil {
+				c.touch(line)
+				c.flc.Fill(b)
+				if c.statsOn() {
+					c.CStats.SLCHits++
+				}
+				c.observe(b, word, line.Data[word])
+				unblock()
+				return
+			}
+			ms.readers = append(ms.readers, readerWait{word, unblock})
+			return
+		}
+	}
+	if line := c.slc.Lookup(b); line != nil {
+		c.touch(line)
+		c.flc.Fill(b)
+		if c.statsOn() {
+			c.CStats.SLCHits++
+		}
+		c.observe(b, word, line.Data[word])
+		unblock()
+		return
+	}
+	if c.wc != nil {
+		if mask, ok := c.wc.Lookup(b); ok && mask.Has(word) {
+			// The word is in the write cache; the processor reads it from
+			// there (paper §3.3). No FLC fill: only the written words are
+			// valid.
+			if c.statsOn() {
+				c.CStats.WCHits++
+			}
+			unblock()
+			return
+		}
+	}
+	// Full demand miss.
+	if c.statsOn() {
+		c.Misses.Add(c.Cls.Classify(b))
+		c.CStats.SLCReadMisses++
+	}
+	c.missStart[b] = c.sys.Eng.Now()
+	ms := &mshr{kind: mshrRead, readers: []readerWait{{word, unblock}}}
+	c.mshrs[b] = ms
+	c.send(&Msg{Type: MsgReadReq, Block: b, Dst: c.sys.HomeOf(b)})
+	if c.pf != nil {
+		c.pf.OnMiss(b)
+		c.issuePrefetches(b)
+	}
+}
+
+func (c *CacheCtl) issuePrefetches(b memsys.Block) {
+	for _, nb := range c.pf.Candidates(b) {
+		if c.slc.Lookup(nb) != nil || c.mshrs[nb] != nil || c.wbPending[nb] {
+			continue
+		}
+		if c.slwbUsed >= c.sys.P.SLWBEntries {
+			break
+		}
+		c.mshrs[nb] = &mshr{kind: mshrRead, prefetchOnly: true, countsSLWB: true}
+		c.slwbUsed++
+		c.pf.OnIssue()
+		c.send(&Msg{Type: MsgReadReq, Block: nb, Dst: c.sys.HomeOf(nb), Prefetch: true})
+	}
+}
+
+// touch records a local access for the extension bits: it presets the
+// competitive counter and resolves the prefetch bit.
+func (c *CacheCtl) touch(line *cache.Line) {
+	if c.wc != nil {
+		line.CWCount = c.sys.P.CWThreshold
+	}
+	if line.PrefetchBit {
+		line.PrefetchBit = false
+		if c.pf != nil {
+			c.pf.OnUseful()
+		}
+	}
+}
+
+// Write issues a processor store for address a. It returns true if the
+// FLWB accepted the write this cycle; otherwise accepted runs when a slot
+// frees. performed (which may be nil) runs when the write is globally
+// performed — what a sequentially consistent processor stalls on.
+func (c *CacheCtl) Write(a memsys.Addr, accepted, performed func()) bool {
+	b := memsys.BlockOf(a)
+	word := memsys.WordIndex(a)
+	w := flwbWrite{block: b, word: word, performed: performed}
+	if c.flwb.Full() {
+		if c.flwbWaiter != nil {
+			panic("core: two writes waiting for the FLWB")
+		}
+		c.flwbWaiter = func() {
+			c.pushWrite(w)
+			if accepted != nil {
+				accepted()
+			}
+		}
+		return false
+	}
+	c.pushWrite(w)
+	return true
+}
+
+func (c *CacheCtl) pushWrite(w flwbWrite) {
+	w.ob = c.nextOb
+	c.nextOb++
+	c.liveObs++
+	c.flwb.Push(w)
+	c.drainFLWB()
+}
+
+func (c *CacheCtl) drainFLWB() {
+	if c.draining || c.flwb.Empty() {
+		return
+	}
+	c.draining = true
+	c.slcRes.UsePipelined(c.sys.P.Timing.SLCCycle, c.sys.P.Timing.SLCAccess, func() {
+		w, _ := c.flwb.Peek()
+		if c.processWrite(w) {
+			c.flwb.Pop()
+			c.draining = false
+			if c.flwbWaiter != nil {
+				f := c.flwbWaiter
+				c.flwbWaiter = nil
+				f()
+			}
+			c.tryRelease()
+			c.drainFLWB()
+		} else {
+			// Stalled on an SLWB slot; pump() retries when one frees.
+			c.draining = false
+		}
+	})
+}
+
+// processWrite applies one buffered write at the SLC. It returns false when
+// the write needs an SLWB slot and none is free.
+func (c *CacheCtl) processWrite(w flwbWrite) bool {
+	b := w.block
+	if ms := c.mshrs[b]; ms != nil {
+		switch ms.kind {
+		case mshrRead:
+			// The block is being fetched; apply the write after the fill.
+			ms.after = append(ms.after, func() { c.deferWrite(w) })
+			return true
+		case mshrOwn:
+			// Ownership already requested: merge.
+			ms.nWrites++
+			ms.obs = append(ms.obs, w.ob)
+			ms.words = append(ms.words, w.word)
+			if w.performed != nil {
+				ms.performed = append(ms.performed, w.performed)
+			}
+			return true
+		}
+		// mshrUpdate: a previous combining round is in flight; this write
+		// starts a new one below.
+	}
+	line := c.slc.Lookup(b)
+	if c.wc != nil {
+		return c.processWriteCW(w, line)
+	}
+	if line != nil && line.State == cache.Dirty {
+		// Writing an exclusive copy is globally performed on the spot.
+		line.Written = true
+		c.performLocal(line, b, w.word)
+		if w.performed != nil {
+			w.performed()
+		}
+		c.completeObs([]int{w.ob})
+		return true
+	}
+	// Shared or absent: request ownership. The local copy (if any) is
+	// updated immediately; the request is buffered in the SLWB.
+	if c.slwbUsed >= c.sys.P.SLWBEntries {
+		return false
+	}
+	ms := &mshr{kind: mshrOwn, countsSLWB: true, nWrites: 1, obs: []int{w.ob}, words: []int{w.word}}
+	if w.performed != nil {
+		ms.performed = append(ms.performed, w.performed)
+	}
+	c.mshrs[b] = ms
+	c.slwbUsed++
+	c.send(&Msg{Type: MsgOwnReq, Block: b, Dst: c.sys.HomeOf(b)})
+	return true
+}
+
+// processWriteCW handles a write under the competitive-update mechanism:
+// writes to dirty lines proceed locally; everything else combines in the
+// write cache.
+func (c *CacheCtl) processWriteCW(w flwbWrite, line *cache.Line) bool {
+	b := w.block
+	if line != nil && line.State == cache.Dirty {
+		line.Written = true
+		line.CWCount = c.sys.P.CWThreshold
+		c.performLocal(line, b, w.word)
+		if w.performed != nil {
+			w.performed()
+		}
+		c.completeObs([]int{w.ob})
+		return true
+	}
+	// Victimizing another block's write-cache entry issues its update,
+	// which needs an SLWB slot.
+	if c.wc.WouldEvict(b) && c.slwbUsed >= c.sys.P.SLWBEntries {
+		return false
+	}
+	victim, evicted := c.wc.Write(b, w.word)
+	c.wcObs[b] = append(c.wcObs[b], w.ob)
+	if line != nil {
+		line.LocallyModified = true
+		line.CWCount = c.sys.P.CWThreshold
+	}
+	if evicted {
+		obs := c.wcObs[victim.Block]
+		delete(c.wcObs, victim.Block)
+		c.flushWC(victim, obs)
+	}
+	if w.performed != nil {
+		w.performed()
+	}
+	if len(c.relQueue) > 0 {
+		// A release is waiting; a prior write must not linger unflushed in
+		// the write cache, or the release would never see it performed.
+		if e, ok := c.wc.Remove(b); ok {
+			obs := c.wcObs[b]
+			delete(c.wcObs, b)
+			c.flushWC(e, obs)
+		}
+	}
+	return true
+}
+
+func (c *CacheCtl) deferWrite(w flwbWrite) {
+	c.deferredWrites = append(c.deferredWrites, w)
+	c.pump()
+}
+
+// flushWC issues the combined update for one victimized or drained
+// write-cache entry, carrying the obligations its writes represent.
+func (c *CacheCtl) flushWC(e cache.WCEntry, obs []int) {
+	c.doFlush(e, obs)
+}
+
+func (c *CacheCtl) doFlush(e cache.WCEntry, obs []int) {
+	if ms := c.mshrs[e.Block]; ms != nil {
+		// A transaction is in flight for this block; issue the update when
+		// it completes.
+		ms.after = append(ms.after, func() { c.doFlush(e, obs) })
+		return
+	}
+	// Release-time drains may transiently exceed the SLWB capacity; the
+	// processor is not waiting, so this only models a stalled drain.
+	c.mshrs[e.Block] = &mshr{kind: mshrUpdate, countsSLWB: true, obs: obs, mask: e.Mask}
+	c.slwbUsed++
+	c.send(&Msg{Type: MsgUpdateReq, Block: e.Block, Dst: c.sys.HomeOf(e.Block), Mask: e.Mask})
+}
+
+// pump retries work that was waiting for an SLWB slot or a fill.
+func (c *CacheCtl) pump() {
+	if len(c.deferredWrites) > 0 {
+		pending := c.deferredWrites
+		c.deferredWrites = nil
+		for i, w := range pending {
+			if !c.processWrite(w) {
+				c.deferredWrites = append(c.deferredWrites, pending[i:]...)
+				break
+			}
+		}
+	}
+	c.drainFLWB()
+	c.tryRelease()
+}
+
+// Acquire sends a lock request; unblock runs at the grant.
+func (c *CacheCtl) Acquire(a memsys.Addr, unblock func()) {
+	b := memsys.BlockOf(a)
+	if c.lockWaiters[b] != nil {
+		panic("core: overlapping acquires of one lock by one processor")
+	}
+	c.lockWaiters[b] = unblock
+	c.send(&Msg{Type: MsgLockReq, Block: b, Dst: c.sys.HomeOf(b)})
+}
+
+// Release queues a lock release. Under release consistency the processor
+// continues immediately (the release sits in the SLWB behind the writes it
+// must wait for); under sequential consistency unblock runs when the home
+// acknowledges the release.
+func (c *CacheCtl) Release(a memsys.Addr, unblock func()) bool {
+	b := memsys.BlockOf(a)
+	r := relReq{kind: relLock, lock: b}
+	proceed := true
+	if c.sys.P.SC {
+		r.ack = unblock
+		proceed = false
+	}
+	c.enqueueFence(r)
+	return proceed
+}
+
+// enqueueFence drains the write cache (its contents are all prior writes)
+// and queues the release or barrier behind every obligation issued so far.
+func (c *CacheCtl) enqueueFence(r relReq) {
+	if c.wc != nil {
+		for _, e := range c.wc.DrainAll() {
+			obs := c.wcObs[e.Block]
+			delete(c.wcObs, e.Block)
+			c.flushWC(e, obs)
+		}
+	}
+	r.mark = c.nextOb
+	r.remaining = c.liveObs
+	c.relQueue = append(c.relQueue, r)
+	c.tryRelease()
+}
+
+// Barrier queues a barrier arrival, which has release semantics: all prior
+// writes must be performed before the arrival is sent. unblock runs when
+// the barrier opens.
+func (c *CacheCtl) Barrier(id int, unblock func()) {
+	if c.barWaiters[id] != nil {
+		panic("core: overlapping barrier arrivals")
+	}
+	c.barWaiters[id] = unblock
+	c.enqueueFence(relReq{kind: relBarrier, barID: id})
+}
+
+// tryRelease issues queued releases and barrier arrivals whose prior
+// writes have all been globally performed. Writes issued after a fence
+// never delay it.
+func (c *CacheCtl) tryRelease() {
+	for len(c.relQueue) > 0 {
+		if c.relQueue[0].remaining > 0 {
+			return
+		}
+		r := c.relQueue[0]
+		c.relQueue = c.relQueue[1:]
+		switch r.kind {
+		case relLock:
+			if r.ack != nil {
+				c.relAckWaiters = append(c.relAckWaiters, r.ack)
+			}
+			c.send(&Msg{Type: MsgLockRel, Block: r.lock, Dst: c.sys.HomeOf(r.lock)})
+		case relBarrier:
+			c.send(&Msg{Type: MsgBarArrive, BarID: r.barID, Dst: r.barID % c.sys.P.Nodes})
+		}
+	}
+}
+
+// ---------- Message handling ----------
+
+// Handle processes one incoming coherence or synchronization message.
+func (c *CacheCtl) Handle(m *Msg) {
+	t := c.sys.P.Timing
+	slc := func(fn func()) { c.slcRes.UsePipelined(t.SLCCycle, t.SLCAccess, fn) }
+	switch m.Type {
+	case MsgReadReply:
+		slc(func() { c.onReadReply(m) })
+	case MsgOwnAck:
+		slc(func() { c.onOwnAck(m) })
+	case MsgUpdateAck:
+		slc(func() { c.onUpdateAck(m) })
+	case MsgInv:
+		slc(func() { c.onInv(m) })
+	case MsgFwd:
+		slc(func() { c.onFwd(m) })
+	case MsgUpdCopy:
+		slc(func() { c.onUpdCopy(m) })
+	case MsgPrefNack:
+		c.onPrefNack(m)
+	case MsgWBAck:
+		c.onWBAck(m)
+	case MsgLockGrant:
+		w := c.lockWaiters[m.Block]
+		if w == nil {
+			panic(fmt.Sprintf("cache %d: lock grant with no waiter", c.id))
+		}
+		delete(c.lockWaiters, m.Block)
+		w()
+	case MsgRelAck:
+		if len(c.relAckWaiters) == 0 {
+			panic(fmt.Sprintf("cache %d: release ack with no waiter", c.id))
+		}
+		w := c.relAckWaiters[0]
+		c.relAckWaiters = c.relAckWaiters[1:]
+		w()
+	case MsgBarGo:
+		w := c.barWaiters[m.BarID]
+		if w == nil {
+			panic(fmt.Sprintf("cache %d: barrier go with no waiter", c.id))
+		}
+		delete(c.barWaiters, m.BarID)
+		w()
+	default:
+		panic(fmt.Sprintf("cache %d: unexpected message %v", c.id, m.Type))
+	}
+}
+
+// removeLine invalidates block b for a coherence reason, maintaining FLC
+// inclusion, the miss classifier and prefetch accounting.
+func (c *CacheCtl) removeLine(b memsys.Block) *cache.Line {
+	line := c.slc.Invalidate(b)
+	if line == nil {
+		return nil
+	}
+	c.sys.traceNode(trace.CacheEvict, "inval", b, c.id, line.State.String())
+	c.flc.Invalidate(b)
+	c.Cls.Invalidate(b)
+	if line.PrefetchBit && c.pf != nil {
+		c.pf.OnDiscard()
+	}
+	return line
+}
+
+func (c *CacheCtl) install(b memsys.Block, st cache.LineState) *cache.Line {
+	c.sys.traceNode(trace.CacheFill, st.String(), b, c.id, "")
+	line, victim := c.slc.Insert(b, st)
+	if victim != nil {
+		c.handleVictim(victim)
+	}
+	c.Cls.Fill(b)
+	return line
+}
+
+func (c *CacheCtl) handleVictim(v *cache.Line) {
+	c.sys.traceNode(trace.CacheEvict, "replace", v.Block, c.id, v.State.String())
+	c.flc.Invalidate(v.Block)
+	c.Cls.Evict(v.Block)
+	if v.PrefetchBit && c.pf != nil {
+		c.pf.OnDiscard()
+	}
+	if v.State == cache.Dirty {
+		stamp := c.lastGrant[v.Block]
+		c.wbData[v.Block] = v.Data
+		c.wbMask[v.Block] = memsys.FullMask
+		if c.wbPending[v.Block] {
+			// The previous writeback of this block has not been
+			// acknowledged yet (ownership cycled back in between); queue a
+			// fresh one behind it.
+			c.wbRequeue[v.Block] = stamp
+		} else {
+			c.wbPending[v.Block] = true
+			c.send(&Msg{Type: MsgWBReq, Block: v.Block, Dst: c.sys.HomeOf(v.Block), Data: true, Stamp: stamp, Payload: v.Data, Mask: memsys.FullMask})
+		}
+	}
+}
+
+func (c *CacheCtl) onReadReply(m *Msg) {
+	b := m.Block
+	ms := c.mshrs[b]
+	if ms == nil || ms.kind != mshrRead {
+		panic(fmt.Sprintf("cache %d: read reply with no pending read for block %d", c.id, b))
+	}
+	delete(c.mshrs, b)
+	if ms.countsSLWB {
+		c.slwbUsed--
+	}
+	st := cache.Shared
+	if m.Excl {
+		st = cache.Dirty
+		c.lastGrant[b] = m.Stamp
+	}
+	line := c.install(b, st)
+	line.Data = m.Payload
+	if m.Excl {
+		line.MigSupplied = true
+	}
+	if c.wc != nil {
+		// A prefetch is not a processor access: an unreferenced prefetched
+		// copy arrives with its competitive counter exhausted, so a foreign
+		// update reclaims it instead of feeding it updates it never earned.
+		if ms.prefetchOnly {
+			line.CWCount = 0
+		} else {
+			line.CWCount = c.sys.P.CWThreshold
+		}
+		if _, ok := c.wc.Lookup(b); ok {
+			line.LocallyModified = true
+		}
+	}
+	if ms.prefetchOnly {
+		line.PrefetchBit = true
+		if c.pf != nil {
+			c.pf.OnFill()
+		}
+	} else {
+		if m.Prefetch && c.pf != nil {
+			// Issued as a prefetch, promoted to a demand fetch in flight.
+			c.pf.OnFill()
+		}
+		c.flc.Fill(b)
+		if t0, ok := c.missStart[b]; ok {
+			delete(c.missStart, b)
+			if c.statsOn() {
+				lat := int64(c.sys.Eng.Now() - t0)
+				c.CStats.ReadMissLatency += lat
+				c.CStats.ReadMissCount++
+				c.CStats.LatencyHist.Add(lat)
+			}
+		}
+		for _, r := range ms.readers {
+			c.observe(b, r.word, line.Data[r.word])
+			r.fn()
+		}
+	}
+	c.runAfter(ms)
+	c.pump()
+}
+
+func (c *CacheCtl) runAfter(ms *mshr) {
+	for _, f := range ms.after {
+		f()
+	}
+}
+
+func (c *CacheCtl) onOwnAck(m *Msg) {
+	b := m.Block
+	ms := c.mshrs[b]
+	if ms == nil || ms.kind != mshrOwn {
+		panic(fmt.Sprintf("cache %d: ownership ack with no pending request for block %d", c.id, b))
+	}
+	delete(c.mshrs, b)
+	c.slwbUsed--
+	c.completeObs(ms.obs)
+	c.lastGrant[b] = m.Stamp
+	var line *cache.Line
+	if m.Data {
+		line = c.install(b, cache.Dirty)
+		line.Data = m.Payload
+	} else {
+		line = c.slc.Lookup(b)
+		if line == nil {
+			// The Shared copy was silently victimized by a conflicting fill
+			// while the upgrade was in flight, so we received ownership of a
+			// block whose frame is gone. Retire the writes and immediately
+			// write the block back; any waiting readers re-fetch it (their
+			// request queues at home behind the writeback).
+			c.relinquishLostOwnership(b, ms, m.Stamp)
+			return
+		}
+		line.State = cache.Dirty
+	}
+	line.Written = true
+	if c.sys.verSeq != nil {
+		for _, w := range ms.words {
+			line.Data[w] = c.sys.nextVersion(b, w)
+		}
+	}
+	for _, p := range ms.performed {
+		p()
+	}
+	if len(ms.readers) > 0 {
+		c.flc.Fill(b)
+		for _, r := range ms.readers {
+			c.observe(b, r.word, line.Data[r.word])
+			r.fn()
+		}
+	}
+	c.runAfter(ms)
+	c.pump()
+}
+
+// relinquishLostOwnership handles an exclusive grant (of generation stamp)
+// for a block whose cache frame was lost to replacement while the request
+// was pending.
+func (c *CacheCtl) relinquishLostOwnership(b memsys.Block, ms *mshr, stamp int) {
+	for _, p := range ms.performed {
+		p()
+	}
+	// The frame is gone, but the transaction's writes still serialize here:
+	// version them into a masked writeback so home memory picks them up.
+	var payload memsys.BlockData
+	var mask memsys.WordMask
+	if c.sys.verSeq != nil {
+		for _, w := range ms.words {
+			mask = mask.Set(w)
+			payload[w] = c.sys.nextVersion(b, w)
+		}
+		for w := 0; w < memsys.WordsPerBlock; w++ {
+			if ms.mask.Has(w) {
+				mask = mask.Set(w)
+				payload[w] = c.sys.nextVersion(b, w)
+			}
+		}
+	}
+	// If a writeback is already in flight (the grant crossed it on the
+	// wire), it is stale with respect to this grant — the home will drop
+	// it — so queue a fresh one behind its acknowledgment.
+	if c.wbPending[b] {
+		c.wbRequeue[b] = stamp
+		c.wbData[b] = payload
+		c.wbMask[b] = mask
+	} else {
+		c.wbPending[b] = true
+		c.wbData[b] = payload
+		c.wbMask[b] = mask
+		c.send(&Msg{Type: MsgWBReq, Block: b, Dst: c.sys.HomeOf(b), Data: true, Stamp: stamp, Payload: payload, Mask: mask})
+	}
+	if len(ms.readers) > 0 {
+		c.mshrs[b] = &mshr{kind: mshrRead, readers: ms.readers}
+		c.send(&Msg{Type: MsgReadReq, Block: b, Dst: c.sys.HomeOf(b)})
+	}
+	c.runAfter(ms)
+	c.pump()
+}
+
+func (c *CacheCtl) onUpdateAck(m *Msg) {
+	b := m.Block
+	ms := c.mshrs[b]
+	if ms == nil || ms.kind != mshrUpdate {
+		panic(fmt.Sprintf("cache %d: update ack with no pending update for block %d", c.id, b))
+	}
+	delete(c.mshrs, b)
+	c.slwbUsed--
+	c.completeObs(ms.obs)
+	if m.Excl {
+		c.lastGrant[b] = m.Stamp
+		var line *cache.Line
+		if m.Data {
+			line = c.install(b, cache.Dirty)
+			line.Data = m.Payload
+		} else if line = c.slc.Lookup(b); line != nil {
+			line.State = cache.Dirty
+			if c.sys.verSeq != nil {
+				// The owner's combined writes serialize here.
+				for w := 0; w < memsys.WordsPerBlock; w++ {
+					if ms.mask.Has(w) {
+						line.Data[w] = c.sys.nextVersion(b, w)
+					}
+				}
+			}
+		} else {
+			// Exclusivity granted for a frame lost to replacement: give the
+			// block straight back (see relinquishLostOwnership).
+			c.relinquishLostOwnership(b, ms, m.Stamp)
+			return
+		}
+		line.Written = true
+		line.CWCount = c.sys.P.CWThreshold
+	} else if line := c.slc.Lookup(b); line != nil {
+		// Non-exclusive completion: refresh our Shared copy with the
+		// post-update memory image (it now carries our own writes'
+		// serialized versions). The FLC copy already holds those writes
+		// (write-through), so it stays.
+		line.Data = m.Payload
+	}
+	if len(ms.readers) > 0 {
+		if line := c.slc.Lookup(b); line != nil {
+			c.flc.Fill(b)
+			for _, r := range ms.readers {
+				c.observe(b, r.word, line.Data[r.word])
+				r.fn()
+			}
+		} else {
+			// The update completed without leaving us a copy; fetch one for
+			// the waiting readers.
+			c.mshrs[b] = &mshr{kind: mshrRead, readers: ms.readers}
+			c.send(&Msg{Type: MsgReadReq, Block: b, Dst: c.sys.HomeOf(b)})
+		}
+	}
+	c.runAfter(ms)
+	c.pump()
+}
+
+func (c *CacheCtl) onInv(m *Msg) {
+	c.removeLine(m.Block)
+	c.send(&Msg{Type: MsgInvAck, Block: m.Block, Dst: m.Src})
+}
+
+func (c *CacheCtl) onFwd(m *Msg) {
+	b := m.Block
+	home := m.Src
+	line := c.slc.Lookup(b)
+	if line == nil {
+		if c.wbPending[b] {
+			// The line was victimized; serve the forward from the
+			// writeback buffer. The in-flight WBReq will be stale at home.
+			c.send(&Msg{Type: MsgFwdReply, Block: b, Dst: home, Data: true, Wrote: true,
+				Payload: c.wbData[b], Mask: c.wbMask[b]})
+			return
+		}
+		panic(fmt.Sprintf("cache %d: forward for absent block %d", c.id, b))
+	}
+	switch {
+	case m.Excl:
+		// Exclusive takeaway (write miss elsewhere, or update recall).
+		c.removeLine(b)
+		c.send(&Msg{Type: MsgFwdReply, Block: b, Dst: home, Data: true, Wrote: true, Payload: line.Data})
+	case m.Mig:
+		// Migratory read: hand the block over if we wrote it; otherwise
+		// report that the pattern stopped being migratory and keep a
+		// shared copy.
+		if line.Written {
+			c.removeLine(b)
+			c.send(&Msg{Type: MsgFwdReply, Block: b, Dst: home, Data: true, Wrote: true, Payload: line.Data})
+		} else {
+			line.State = cache.Shared
+			line.MigSupplied = false
+			c.send(&Msg{Type: MsgFwdReply, Block: b, Dst: home, Data: true, Wrote: false, Payload: line.Data})
+		}
+	default:
+		// Ordinary read miss: downgrade to Shared.
+		line.State = cache.Shared
+		line.Written = false
+		c.send(&Msg{Type: MsgFwdReply, Block: b, Dst: home, Data: true, Wrote: true, Payload: line.Data})
+	}
+}
+
+func (c *CacheCtl) onUpdCopy(m *Msg) {
+	b := m.Block
+	reply := &Msg{Type: MsgUpdAck, Block: b, Dst: m.Src}
+	line := c.slc.Lookup(b)
+	switch {
+	case line == nil:
+		// Silently replaced earlier; tell home to clear our presence bit.
+		reply.Removed = true
+		reply.GaveUp = true
+	case m.Probe && line.LocallyModified:
+		// CW+M interrogation: we modified the block since the last home
+		// update, so we give up our copy (paper §3.4).
+		c.removeLine(b)
+		reply.Removed = true
+		reply.GaveUp = true
+	default:
+		// Competitive counting: the counter is preset to the threshold at
+		// every local access and decremented per foreign update; an update
+		// arriving after it is exhausted — i.e. more than `threshold`
+		// updates with no intervening local access — invalidates the copy
+		// and stops the update stream. A processor that keeps reading the
+		// block keeps its copy, which is how CW removes producer-consumer
+		// coherence misses while still cutting off caches that lost
+		// interest.
+		if line.CWCount <= 0 {
+			c.removeLine(b)
+			reply.Removed = true
+		} else {
+			line.CWCount--
+			// Apply the update and stay a sharer. The FLC copy is stale
+			// now; inclusion demands it be invalidated, so the processor's
+			// next access reaches the SLC (and presets the counter).
+			c.flc.Invalidate(b)
+			line.LocallyModified = false
+			line.Data = m.Payload
+		}
+	}
+	c.send(reply)
+}
+
+func (c *CacheCtl) onPrefNack(m *Msg) {
+	b := m.Block
+	ms := c.mshrs[b]
+	if ms == nil || ms.kind != mshrRead {
+		panic(fmt.Sprintf("cache %d: prefetch nack with no pending read for block %d", c.id, b))
+	}
+	if !ms.prefetchOnly {
+		// A demand reference merged with the prefetch while the nack was in
+		// flight; reissue it as a demand read, which is never nacked.
+		c.send(&Msg{Type: MsgReadReq, Block: b, Dst: c.sys.HomeOf(b)})
+		return
+	}
+	delete(c.mshrs, b)
+	if ms.countsSLWB {
+		c.slwbUsed--
+	}
+	if c.pf != nil {
+		c.pf.Stats.Nacked++
+	}
+	c.runAfter(ms)
+	c.pump()
+}
+
+func (c *CacheCtl) onWBAck(m *Msg) {
+	if !c.wbPending[m.Block] {
+		panic(fmt.Sprintf("cache %d: writeback ack with no pending writeback for block %d", c.id, m.Block))
+	}
+	if stamp, ok := c.wbRequeue[m.Block]; ok {
+		delete(c.wbRequeue, m.Block)
+		c.send(&Msg{Type: MsgWBReq, Block: m.Block, Dst: c.sys.HomeOf(m.Block), Data: true, Stamp: stamp,
+			Payload: c.wbData[m.Block], Mask: c.wbMask[m.Block]})
+	} else {
+		delete(c.wbPending, m.Block)
+		delete(c.wbData, m.Block)
+		delete(c.wbMask, m.Block)
+	}
+	c.pump()
+}

@@ -1,0 +1,66 @@
+package core
+
+import "ccsim/internal/sim"
+
+// Analytical latency model: closed-form uncontended service times for each
+// transaction class, derived from the Timing parameters exactly as the
+// hardware composes them. The simulator must reproduce these numbers on an
+// idle machine (latency_test.go checks it does), which pins the timing
+// arithmetic down and gives users a back-of-envelope model to reason with —
+// the same decomposition the paper uses to explain its §2 parameters
+// ("FLC, SLC, and local memory access times of 1, 6, and 30 pclocks").
+
+// LocalMissLatency returns the SLC-miss-to-local-memory service time: SLC
+// lookup, bus request, memory access, bus data return, SLC fill.
+func LocalMissLatency(t Timing) sim.Time {
+	return t.SLCAccess + t.BusCtl + t.MemAccess + t.BusData + t.SLCAccess
+}
+
+// RemoteCleanLatency returns the two-transfer remote miss: the local case
+// plus a network crossing each way and the home node's bus passes.
+func RemoteCleanLatency(t Timing) sim.Time {
+	return t.SLCAccess + t.BusCtl + t.NetLatency + // request out
+		t.BusCtl + t.MemAccess + t.BusData + // home service
+		t.NetLatency + t.BusData + t.SLCAccess // reply in + fill
+}
+
+// RemoteDirtyLatency returns the four-transfer miss serviced via the dirty
+// owner: request to home, forward to owner, data back to home (with the
+// memory update), reply to the requester.
+func RemoteDirtyLatency(t Timing) sim.Time {
+	return t.SLCAccess + t.BusCtl + t.NetLatency + // request out
+		t.BusCtl + t.MemAccess + // home directory access
+		t.BusCtl + t.NetLatency + t.BusCtl + // forward to owner
+		t.SLCAccess + // owner SLC access
+		t.BusData + t.NetLatency + t.BusData + // data back to home
+		t.MemAccess + // memory update
+		t.BusData + t.NetLatency + t.BusData + t.SLCAccess // reply + fill
+}
+
+// OwnershipLatency returns the upgrade time for a write to a Shared block
+// with k remote sharers to invalidate (k >= 1), all invalidated in
+// parallel: request to home, directory access, invalidation round trip,
+// ownership acknowledgment.
+func OwnershipLatency(t Timing, k int) sim.Time {
+	if k < 1 {
+		// No sharers: request, directory access, immediate grant.
+		return t.SLCAccess + t.BusCtl + t.NetLatency +
+			t.BusCtl + t.MemAccess +
+			t.BusCtl + t.NetLatency + t.BusCtl + t.SLCAccess
+	}
+	return t.SLCAccess + t.BusCtl + t.NetLatency + // request out
+		t.BusCtl + t.MemAccess + // home directory access
+		t.BusCtl + t.NetLatency + t.BusCtl + // invalidations out
+		sim.Time(k-1)*t.BusCtl + // later invalidations serialize on the home bus
+		t.SLCAccess + // sharer SLC access
+		t.BusCtl + t.NetLatency + t.BusCtl + // acks back (parallel)
+		t.BusCtl + t.NetLatency + t.BusCtl + t.SLCAccess // grant + SLC pass
+}
+
+// MigratorySavings returns how many pclocks the migratory optimization
+// saves per migration under sequential consistency: the entire ownership
+// upgrade with one remote sharer disappears (the read already returned an
+// exclusive copy).
+func MigratorySavings(t Timing) sim.Time {
+	return OwnershipLatency(t, 1)
+}

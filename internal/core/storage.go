@@ -1,0 +1,86 @@
+package core
+
+import "ccsim/internal/memsys"
+
+// Storage-cost model: bits of state each configuration adds per node,
+// quantifying the paper's Table 1 (the companion technical report [5],
+// "Performance Gains and Cost Trade-off for Cache Protocol Extensions",
+// studies exactly this trade-off). All counts are per node.
+type StorageBits struct {
+	// SLCLineBits is the coherence overhead per SLC line: stable-state
+	// encoding plus every extension's per-line bits.
+	SLCLineBits int
+	// SLCTotalBits = SLCLineBits * frames.
+	SLCTotalBits int64
+	// CacheMechanismBits covers per-cache structures: the prefetcher's
+	// three modulo-16 counters and the write cache.
+	CacheMechanismBits int64
+	// MemoryLineBits is the directory overhead per memory block.
+	MemoryLineBits int
+	// MemoryTotalBits = MemoryLineBits * blocks of local memory.
+	MemoryTotalBits int64
+	// TotalBits sums everything.
+	TotalBits int64
+}
+
+// addressBits sizes tags in the write cache (a 32-bit physical address
+// space, generous for the paper's era).
+const addressBits = 32
+
+// ComputeStorage returns the coherence-state storage a configuration needs
+// per node, for an SLC with slcFrames lines and memBlocks blocks of local
+// memory. It reproduces Table 1's accounting and extends it to the
+// combinations and the limited-pointer directory.
+func ComputeStorage(p Params, slcFrames, memBlocks int) StorageBits {
+	var s StorageBits
+
+	// Stable cache states: INVALID/SHARED/DIRTY, plus M's extra state.
+	states := 3
+	if p.M {
+		states++ // the migratory-supplied state (paper §3.2)
+	}
+	s.SLCLineBits = log2(states)
+	if p.P {
+		s.SLCLineBits += 2 // prefetch bit + zero bit (paper §3.1)
+	}
+	if p.CW {
+		s.SLCLineBits += log2(p.CWThreshold + 1) // competitive counter
+		if p.M {
+			s.SLCLineBits++ // locally-modified bit (paper §3.4)
+		}
+	}
+	s.SLCTotalBits = int64(s.SLCLineBits) * int64(slcFrames)
+
+	if p.P {
+		s.CacheMechanismBits += 3 * 4 // three modulo-16 counters
+	}
+	if p.CW {
+		// Write cache: per block a tag, a valid bit, per-word dirty/valid
+		// bits, and the data words themselves.
+		perBlock := (addressBits - log2(memsys.BlockSize)) + 1 +
+			memsys.WordsPerBlock + memsys.BlockSize*8
+		s.CacheMechanismBits += int64(p.WriteCacheBlocks) * int64(perBlock)
+	}
+
+	// Directory: 3 state bits (2 stable + transients) plus the sharer set.
+	s.MemoryLineBits = 3
+	if p.DirPointers > 0 {
+		// Dir_iB: i pointers of log2 N bits plus the broadcast bit.
+		s.MemoryLineBits += p.DirPointers*log2(p.Nodes) + 1
+	} else {
+		s.MemoryLineBits += p.Nodes // full presence-flag vector
+	}
+	if p.M {
+		s.MemoryLineBits += 1 + log2(p.Nodes) // migratory bit + last-writer pointer
+	}
+	s.MemoryTotalBits = int64(s.MemoryLineBits) * int64(memBlocks)
+
+	s.TotalBits = s.SLCTotalBits + s.CacheMechanismBits + s.MemoryTotalBits
+	return s
+}
+
+// ExtraBitsOver returns how many bits per node cfg needs beyond base (both
+// computed with the same geometry).
+func (s StorageBits) ExtraBitsOver(base StorageBits) int64 {
+	return s.TotalBits - base.TotalBits
+}

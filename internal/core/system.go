@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+
+	"ccsim/internal/memsys"
+	"ccsim/internal/network"
+	"ccsim/internal/sim"
+	"ccsim/internal/stats"
+	"ccsim/internal/trace"
+)
+
+// System is the coherence fabric of one simulated machine: one node per
+// processor, each with a local bus, a home (directory) controller for the
+// memory pages it owns, and a second-level cache controller.
+type System struct {
+	Eng *sim.Engine
+	Net network.Net
+	P   Params
+
+	Nodes []*Node
+
+	// Traffic counts network messages (local bus transactions between a
+	// cache and its own memory do not enter the network).
+	Traffic stats.Traffic
+
+	// statsOn gates the measurement counters so only the parallel section
+	// is recorded (SPLASH methodology, paper §4).
+	statsOn bool
+
+	// Tracer, when non-nil, receives protocol events (message sends and
+	// deliveries, directory transitions, cache fills and evictions).
+	Tracer *trace.Tracer
+
+	// Data-value verification state (Params.VerifyData): a per-word version
+	// counter per block, advanced at each write's global serialization
+	// point, and the violations found.
+	verSeq         map[memsys.Block]*memsys.BlockData
+	DataViolations []string
+}
+
+// nextVersion serializes a write to (b, w) and returns its version.
+func (s *System) nextVersion(b memsys.Block, w int) int64 {
+	c := s.verSeq[b]
+	if c == nil {
+		c = &memsys.BlockData{}
+		s.verSeq[b] = c
+	}
+	c[w]++
+	return c[w]
+}
+
+// dataViolation records one data-value invariant violation (bounded).
+func (s *System) dataViolation(format string, args ...any) {
+	if len(s.DataViolations) < 16 {
+		s.DataViolations = append(s.DataViolations, fmt.Sprintf(format, args...))
+	}
+}
+
+// traceMsg records a message event if tracing is enabled.
+func (s *System) traceMsg(k trace.Kind, m *Msg) {
+	if s.Tracer == nil {
+		return
+	}
+	note := ""
+	switch {
+	case m.Excl:
+		note = "excl"
+	case m.Prefetch:
+		note = "prefetch"
+	case m.Mig:
+		note = "mig"
+	}
+	s.Tracer.Record(trace.Event{
+		At: int64(s.Eng.Now()), Kind: k, What: m.Type.String(),
+		Block: uint64(m.Block), Node: m.Src, Peer: m.Dst, Note: note,
+	})
+}
+
+// traceNode records a node-local event (directory transition, fill,
+// eviction) if tracing is enabled.
+func (s *System) traceNode(k trace.Kind, what string, b memsys.Block, node int, note string) {
+	if s.Tracer == nil {
+		return
+	}
+	s.Tracer.Record(trace.Event{
+		At: int64(s.Eng.Now()), Kind: k, What: what,
+		Block: uint64(b), Node: node, Peer: -1, Note: note,
+	})
+}
+
+// SetStatsEnabled turns measurement gathering on or off; timing behavior is
+// unaffected.
+func (s *System) SetStatsEnabled(on bool) { s.statsOn = on }
+
+// Node bundles one processor node's coherence machinery.
+type Node struct {
+	ID    int
+	Bus   *sim.Resource
+	Home  *HomeCtl
+	Cache *CacheCtl
+}
+
+// NewSystem builds a machine from params over the given engine and network.
+func NewSystem(eng *sim.Engine, net network.Net, params Params) (*System, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{Eng: eng, Net: net, P: params, statsOn: true}
+	if params.VerifyData {
+		s.verSeq = make(map[memsys.Block]*memsys.BlockData)
+	}
+	s.Nodes = make([]*Node, params.Nodes)
+	for i := range s.Nodes {
+		n := &Node{
+			ID:  i,
+			Bus: sim.NewResource(eng, fmt.Sprintf("bus%d", i)),
+		}
+		n.Home = newHomeCtl(s, i)
+		n.Cache = newCacheCtl(s, i)
+		s.Nodes[i] = n
+	}
+	return s, nil
+}
+
+// HomeOf returns the home node of block b.
+func (s *System) HomeOf(b memsys.Block) int { return memsys.HomeOf(b, s.P.Nodes) }
+
+// busTime returns the local-bus occupancy of message m.
+func (s *System) busTime(m *Msg) sim.Time {
+	if m.Data || m.Type == MsgUpdateReq || m.Type == MsgUpdCopy {
+		return s.P.Timing.BusData
+	}
+	return s.P.Timing.BusCtl
+}
+
+// Send transmits m from m.Src to m.Dst: across the source node's bus, then
+// the network (when the destination is remote), then the destination node's
+// bus, and finally dispatches it to the home or cache controller.
+func (s *System) Send(m *Msg) {
+	s.traceMsg(trace.MsgSend, m)
+	bt := s.busTime(m)
+	s.Nodes[m.Src].Bus.Use(bt, func() {
+		if m.Src == m.Dst {
+			// Local: one bus transaction carries the message to the memory
+			// module or cache; no network involvement.
+			s.dispatch(m)
+			return
+		}
+		if s.statsOn {
+			s.Traffic.Add(m.Class(), m.Size())
+		}
+		s.Net.Send(m.Src, m.Dst, m.Size(), func() {
+			s.Nodes[m.Dst].Bus.Use(bt, func() {
+				s.dispatch(m)
+			})
+		})
+	})
+}
+
+func (s *System) dispatch(m *Msg) {
+	s.traceMsg(trace.MsgDeliver, m)
+	if m.toHome() {
+		s.Nodes[m.Dst].Home.Handle(m)
+	} else {
+		s.Nodes[m.Dst].Cache.Handle(m)
+	}
+}
+
+// Quiesced reports whether no coherence transactions are pending anywhere
+// (used by the machine-level invariant checker at the end of a run).
+func (s *System) Quiesced() bool {
+	for _, n := range s.Nodes {
+		if !n.Cache.idle() || !n.Home.idle() {
+			return false
+		}
+	}
+	return s.Eng.Pending() == 0
+}
+
+// CheckInvariants verifies global coherence invariants. It must be called
+// at quiescence (no in-flight transactions). It returns a descriptive error
+// on the first violation found.
+func (s *System) CheckInvariants() error {
+	// Gather every cached copy.
+	type copyInfo struct {
+		node  int
+		state string
+		dirty bool
+	}
+	copies := make(map[memsys.Block][]copyInfo)
+	for _, n := range s.Nodes {
+		n.Cache.forEachLine(func(b memsys.Block, st string, dirty bool) {
+			copies[b] = append(copies[b], copyInfo{n.ID, st, dirty})
+		})
+	}
+	for _, n := range s.Nodes {
+		for b, e := range n.Home.dir {
+			if s.HomeOf(b) != n.ID {
+				return fmt.Errorf("block %d: directory entry at node %d, home is %d", b, n.ID, s.HomeOf(b))
+			}
+			if e.busy || len(e.deferred) > 0 || len(e.parked) > 0 {
+				return fmt.Errorf("block %d: home not quiesced", b)
+			}
+			dirties := 0
+			for _, c := range copies[b] {
+				if c.dirty {
+					dirties++
+				}
+			}
+			switch e.state {
+			case dirClean:
+				if dirties != 0 {
+					return fmt.Errorf("block %d: CLEAN at home but %d dirty copies", b, dirties)
+				}
+				// Presence must be a superset of actual holders (silent
+				// replacement makes it a superset, not an exact set).
+				for _, c := range copies[b] {
+					if e.presence&(1<<uint(c.node)) == 0 {
+						return fmt.Errorf("block %d: node %d holds a copy not in the presence vector", b, c.node)
+					}
+				}
+			case dirModified:
+				if dirties > 1 {
+					return fmt.Errorf("block %d: %d dirty copies", b, dirties)
+				}
+				for _, c := range copies[b] {
+					if c.node != e.owner {
+						return fmt.Errorf("block %d: MODIFIED owner %d but node %d holds a %s copy", b, e.owner, c.node, c.state)
+					}
+				}
+			}
+		}
+	}
+	// No cache may hold a dirty copy of a block its home believes clean —
+	// covered above — and every dirty copy must be the registered owner.
+	for b, cs := range copies {
+		for _, c := range cs {
+			if c.dirty {
+				e := s.Nodes[s.HomeOf(b)].Home.dir[b]
+				if e == nil || e.state != dirModified || e.owner != c.node {
+					return fmt.Errorf("block %d: dirty at node %d without matching directory state", b, c.node)
+				}
+			}
+		}
+	}
+	return nil
+}

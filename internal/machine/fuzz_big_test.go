@@ -1,0 +1,33 @@
+package machine
+
+import "testing"
+
+// TestBigFuzz is an extended randomized sweep (enable with -run TestBigFuzz).
+func TestBigFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fuzz")
+	}
+	for seed := int64(100); seed < 150; seed++ {
+		for _, v := range protoVariants() {
+			for _, sc := range []bool{false, true} {
+				if sc && v.cw {
+					continue
+				}
+				cfg := DefaultConfig()
+				cfg.Core.Nodes = 8
+				cfg.Core.P, cfg.Core.M, cfg.Core.CW = v.p, v.m, v.cw
+				cfg.Core.SC = sc
+				cfg.Core.VerifyData = true
+				cfg.Core.SLCSets = 16
+				cfg.Core.FLWBEntries, cfg.Core.SLWBEntries = 2, 3
+				m, err := New(cfg, randomStreams(8, 350, seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.Run(); err != nil {
+					t.Fatalf("seed %d proto %s sc=%v: %v", seed, v.name, sc, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package machine assembles a complete simulated multiprocessor — engine,
+// interconnect, coherence system, processors and workload streams — runs it
+// to completion, and collects the results the paper's evaluation reports.
+package machine
+
+import (
+	"fmt"
+
+	"ccsim/internal/core"
+	"ccsim/internal/network"
+	"ccsim/internal/proc"
+	"ccsim/internal/sim"
+	"ccsim/internal/stats"
+	"ccsim/internal/trace"
+)
+
+// NetKind selects the interconnect model.
+type NetKind int
+
+const (
+	// NetUniform is the paper's default contention-free network.
+	NetUniform NetKind = iota
+	// NetMesh is the §5.3 wormhole mesh; LinkBits selects the width.
+	NetMesh
+)
+
+// Config configures one simulation run.
+type Config struct {
+	Core core.Params
+
+	Net      NetKind
+	LinkBits int // mesh link width in bits (64/32/16)
+
+	// MaxTime aborts runaway simulations (0 = no limit).
+	MaxTime sim.Time
+
+	// Tracer, when non-nil, receives protocol events.
+	Tracer *trace.Tracer
+}
+
+// DefaultConfig returns the paper's baseline machine (BASIC, RC, uniform
+// network).
+func DefaultConfig() Config {
+	return Config{Core: core.DefaultParams(), Net: NetUniform, LinkBits: 64}
+}
+
+// Machine is an assembled simulation.
+type Machine struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Sys   *core.System
+	Net   network.Net
+	Procs []*proc.Processor
+
+	statsStart   sim.Time
+	statsStarted bool
+	doneCount    int
+}
+
+// meshSide returns the smallest square mesh holding n nodes.
+func meshSide(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+// New builds a machine whose processor i executes streams[i].
+func New(cfg Config, streams []proc.Stream) (*Machine, error) {
+	if len(streams) != cfg.Core.Nodes {
+		return nil, fmt.Errorf("machine: %d streams for %d nodes", len(streams), cfg.Core.Nodes)
+	}
+	eng := sim.NewEngine()
+	var net network.Net
+	switch cfg.Net {
+	case NetUniform:
+		net = network.NewUniform(eng, cfg.Core.Timing.NetLatency)
+	case NetMesh:
+		side := meshSide(cfg.Core.Nodes)
+		net = network.NewMesh(eng, side, side, cfg.LinkBits)
+	default:
+		return nil, fmt.Errorf("machine: unknown network kind %d", cfg.Net)
+	}
+	sys, err := core.NewSystem(eng, net, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	sys.Tracer = cfg.Tracer
+	m := &Machine{Cfg: cfg, Eng: eng, Sys: sys, Net: net}
+	// Measurement starts at the workloads' StatsOn marker.
+	sys.SetStatsEnabled(false)
+	for i, s := range streams {
+		p := proc.New(eng, sys.Nodes[i].Cache, s, proc.Config{
+			ID:        i,
+			SC:        cfg.Core.SC,
+			FLCAccess: cfg.Core.Timing.FLCAccess,
+			FLCFill:   cfg.Core.Timing.FLCFill,
+		})
+		p.StatsOnHook = m.onStatsOn
+		p.DoneHook = func() { m.doneCount++ }
+		m.Procs = append(m.Procs, p)
+	}
+	return m, nil
+}
+
+func (m *Machine) onStatsOn() {
+	if m.statsStarted {
+		return
+	}
+	m.statsStarted = true
+	m.statsStart = m.Eng.Now()
+	m.Sys.SetStatsEnabled(true)
+	for _, p := range m.Procs {
+		p.SetStatsEnabled(true)
+	}
+}
+
+// Run executes the simulation to completion (all streams exhausted and all
+// protocol activity drained), verifies the coherence invariants, and
+// returns the collected results.
+func (m *Machine) Run() (*Result, error) {
+	for _, p := range m.Procs {
+		p.Start()
+	}
+	if m.Cfg.MaxTime > 0 {
+		m.Eng.RunWhile(func() bool { return m.Eng.Now() <= m.Cfg.MaxTime })
+		if m.Eng.Now() > m.Cfg.MaxTime {
+			return nil, fmt.Errorf("machine: exceeded MaxTime %d at %d events", m.Cfg.MaxTime, m.Eng.Steps())
+		}
+	} else {
+		m.Eng.Run()
+	}
+	if m.doneCount != len(m.Procs) {
+		return nil, fmt.Errorf("machine: deadlock — %d of %d processors finished, %d events pending",
+			m.doneCount, len(m.Procs), m.Eng.Pending())
+	}
+	if !m.Sys.Quiesced() {
+		return nil, fmt.Errorf("machine: protocol not quiesced at end of run")
+	}
+	if err := m.Sys.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("machine: invariant violation: %w", err)
+	}
+	if n := len(m.Sys.DataViolations); n > 0 {
+		return nil, fmt.Errorf("machine: %d data-value violations, first: %s",
+			n, m.Sys.DataViolations[0])
+	}
+	if !m.statsStarted {
+		return nil, fmt.Errorf("machine: workload never emitted StatsOn")
+	}
+	return m.collect(), nil
+}
+
+func (m *Machine) collect() *Result {
+	r := &Result{
+		Protocol: m.Cfg.Core.ProtocolName(),
+		Network:  m.Net.Name(),
+		Nodes:    m.Cfg.Core.Nodes,
+		Traffic:  m.Sys.Traffic,
+	}
+	var lastDone sim.Time
+	for _, p := range m.Procs {
+		if p.DoneTime() > lastDone {
+			lastDone = p.DoneTime()
+		}
+		r.Procs = append(r.Procs, p.Stats)
+		r.Busy += p.Stats.Busy
+		r.ReadStall += p.Stats.ReadStall
+		r.WriteStall += p.Stats.WriteStall
+		r.AcquireStall += p.Stats.AcquireStall
+		r.BarrierStall += p.Stats.BarrierStall
+		r.ReleaseStall += p.Stats.ReleaseStall
+		r.Reads += p.Stats.Reads
+		r.Writes += p.Stats.Writes
+	}
+	r.ExecTime = int64(lastDone - m.statsStart)
+	for _, n := range m.Sys.Nodes {
+		c := n.Cache
+		for k, v := range c.Misses {
+			r.Misses[k] += v
+		}
+		r.Cache.FLCReadMisses += c.CStats.FLCReadMisses
+		r.Cache.SLCReadMisses += c.CStats.SLCReadMisses
+		r.Cache.SLCHits += c.CStats.SLCHits
+		r.Cache.WCHits += c.CStats.WCHits
+		r.Cache.PartialHits += c.CStats.PartialHits
+		r.Cache.ReadMissLatency += c.CStats.ReadMissLatency
+		r.Cache.ReadMissCount += c.CStats.ReadMissCount
+		r.Cache.LatencyHist.Merge(c.CStats.LatencyHist)
+		if pf := c.Prefetcher(); pf != nil {
+			r.Prefetch.Issued += pf.Stats.Issued
+			r.Prefetch.Useful += pf.Stats.Useful
+			r.Prefetch.Discard += pf.Stats.Discard
+			r.Prefetch.PartHits += pf.Stats.PartHits
+			r.Prefetch.Nacked += pf.Stats.Nacked
+		}
+		h := n.Home
+		r.OwnReqs += h.OwnReqs
+		r.UpdateReqs += h.UpdateReqs
+		r.MigDetections += h.MigratoryDetections
+		r.MigReverts += h.MigratoryReverts
+		r.ExclSupplies += h.ExclusiveSupplies
+		r.PointerOverflows += h.PointerOverflows
+		r.BroadcastInvs += h.BroadcastInvalidations
+	}
+	return r
+}
+
+// Result holds everything a run produces.
+type Result struct {
+	Protocol string
+	Network  string
+	Nodes    int
+
+	// ExecTime is the measured parallel-section duration in pclocks (from
+	// the StatsOn marker to the last processor's completion).
+	ExecTime int64
+
+	// Summed per-processor time decomposition. BarrierStall is folded into
+	// acquire stall in paper-style reports.
+	Busy, ReadStall, WriteStall, AcquireStall, BarrierStall, ReleaseStall int64
+
+	Reads, Writes uint64
+	Procs         []stats.Proc
+
+	Misses  stats.Misses
+	Cache   core.CacheStats
+	Traffic stats.Traffic
+
+	Prefetch stats.Prefetch
+
+	OwnReqs, UpdateReqs                     uint64
+	MigDetections, MigReverts, ExclSupplies uint64
+	PointerOverflows, BroadcastInvs         uint64
+}
+
+// MissRatePct returns the given miss component as a percentage of shared
+// reads, the denominator the paper's Table 2 uses.
+func (r *Result) MissRatePct(k stats.MissKind) float64 {
+	if r.Reads == 0 {
+		return 0
+	}
+	return 100 * float64(r.Misses[k]) / float64(r.Reads)
+}
+
+// AvgReadMissLatency returns the mean demand read-miss service time in
+// pclocks.
+func (r *Result) AvgReadMissLatency() float64 {
+	if r.Cache.ReadMissCount == 0 {
+		return 0
+	}
+	return float64(r.Cache.ReadMissLatency) / float64(r.Cache.ReadMissCount)
+}
+
+// RelativeTo returns this run's execution time as a fraction of base's.
+func (r *Result) RelativeTo(base *Result) float64 {
+	if base.ExecTime == 0 {
+		return 0
+	}
+	return float64(r.ExecTime) / float64(base.ExecTime)
+}
+
+// TimeShare returns the per-processor-average shares of busy and stall
+// times, normalized so they can be plotted against another run.
+func (r *Result) TimeShare() (busy, read, write, acq, rel float64) {
+	n := float64(r.Nodes)
+	return float64(r.Busy) / n, float64(r.ReadStall) / n, float64(r.WriteStall) / n,
+		float64(r.AcquireStall) / n, float64(r.ReleaseStall) / n
+}

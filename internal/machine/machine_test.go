@@ -1,0 +1,431 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ccsim/internal/memsys"
+	"ccsim/internal/proc"
+	"ccsim/internal/stats"
+)
+
+// protoVariants enumerates every extension combination from the paper.
+func protoVariants() []struct {
+	name     string
+	p, m, cw bool
+} {
+	return []struct {
+		name     string
+		p, m, cw bool
+	}{
+		{"BASIC", false, false, false},
+		{"P", true, false, false},
+		{"M", false, true, false},
+		{"CW", false, false, true},
+		{"P+CW", true, false, true},
+		{"P+M", true, true, false},
+		{"CW+M", false, true, true},
+		{"P+CW+M", true, true, true},
+	}
+}
+
+func trivialStreams(n int) []proc.Stream {
+	out := make([]proc.Stream, n)
+	for i := range out {
+		out[i] = proc.NewSliceStream(
+			proc.Op{Kind: proc.OpStatsOn},
+			proc.Op{Kind: proc.OpBusy, Cycles: 10},
+			proc.Op{Kind: proc.OpRead, Addr: memsys.Addr(i * memsys.PageSize)},
+			proc.Op{Kind: proc.OpBarrier, Bar: 0},
+		)
+	}
+	return out
+}
+
+func TestMachineRunsTrivialWorkload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Core.Nodes = 4
+	m, err := New(cfg, trivialStreams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ExecTime <= 0 {
+		t.Fatalf("ExecTime = %d", r.ExecTime)
+	}
+	if r.Reads != 4 {
+		t.Fatalf("Reads = %d, want 4", r.Reads)
+	}
+	if r.Misses.Total() != 4 || r.Misses[stats.Cold] != 4 {
+		t.Fatalf("misses = %v, want 4 cold", r.Misses)
+	}
+}
+
+func TestMachineStreamCountMismatch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Core.Nodes = 4
+	if _, err := New(cfg, trivialStreams(3)); err == nil {
+		t.Fatal("no error for stream/node mismatch")
+	}
+}
+
+func TestMachineRequiresStatsOn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Core.Nodes = 1
+	m, err := New(cfg, []proc.Stream{proc.NewSliceStream(proc.Op{Kind: proc.OpBusy, Cycles: 5})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil {
+		t.Fatal("run without StatsOn did not error")
+	}
+}
+
+// randomStream generates a reproducible random mix of reads, writes,
+// critical sections and barriers over a small shared region — a protocol
+// fuzzer.
+func randomStream(id, nprocs, nops int, seed int64, barriers bool) proc.Stream {
+	rng := rand.New(rand.NewSource(seed + int64(id)))
+	ops := []proc.Op{{Kind: proc.OpStatsOn}}
+	const sharedBlocks = 24
+	addr := func() memsys.Addr {
+		// Spread over pages so several homes participate.
+		b := rng.Intn(sharedBlocks)
+		page := b % 4
+		return memsys.Addr(page*memsys.PageSize + (b/4)*memsys.BlockSize + 4*rng.Intn(8))
+	}
+	lockAddr := func(l int) memsys.Addr {
+		return memsys.Addr(100*memsys.PageSize + l*memsys.BlockSize)
+	}
+	barCount := 0
+	for i := 0; i < nops; i++ {
+		switch r := rng.Intn(100); {
+		case r < 40:
+			ops = append(ops, proc.Op{Kind: proc.OpRead, Addr: addr()})
+		case r < 70:
+			ops = append(ops, proc.Op{Kind: proc.OpWrite, Addr: addr()})
+		case r < 85:
+			ops = append(ops, proc.Op{Kind: proc.OpBusy, Cycles: int64(rng.Intn(50))})
+		case r < 95:
+			l := rng.Intn(3)
+			ops = append(ops,
+				proc.Op{Kind: proc.OpAcquire, Addr: lockAddr(l)},
+				proc.Op{Kind: proc.OpRead, Addr: addr()},
+				proc.Op{Kind: proc.OpWrite, Addr: addr()},
+				proc.Op{Kind: proc.OpRelease, Addr: lockAddr(l)},
+			)
+		default:
+			if barriers {
+				ops = append(ops, proc.Op{Kind: proc.OpBarrier, Bar: barCount})
+				barCount++
+			}
+		}
+	}
+	// Align barrier counts across processors: every processor must hit the
+	// same barriers, so emit the maximum possible count at the end.
+	for ; barCount < nops/10+1; barCount++ {
+		ops = append(ops, proc.Op{Kind: proc.OpBarrier, Bar: barCount})
+	}
+	return proc.NewSliceStream(ops...)
+}
+
+// barrier alignment above requires identical barCount sequences; instead of
+// relying on randomness, cap every stream at the same barrier schedule.
+func randomStreams(nprocs, nops int, seed int64) []proc.Stream {
+	out := make([]proc.Stream, nprocs)
+	for i := range out {
+		out[i] = randomStream(i, nprocs, nops, seed, false)
+	}
+	return out
+}
+
+func TestRandomWorkloadAllProtocols(t *testing.T) {
+	for _, v := range protoVariants() {
+		for _, sc := range []bool{false, true} {
+			if sc && v.cw {
+				continue // CW is not feasible under SC
+			}
+			name := v.name
+			if sc {
+				name += "-SC"
+			}
+			t.Run(name, func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.Core.Nodes = 8
+				cfg.Core.P, cfg.Core.M, cfg.Core.CW = v.p, v.m, v.cw
+				cfg.Core.VerifyData = true
+				cfg.Core.SC = sc
+				if sc {
+					cfg.Core.FLWBEntries, cfg.Core.SLWBEntries = 1, 16
+				}
+				m, err := New(cfg, randomStreams(8, 400, 12345))
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := m.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.ExecTime <= 0 {
+					t.Fatal("no execution time")
+				}
+			})
+		}
+	}
+}
+
+func TestRandomWorkloadFiniteCachesAndSmallBuffers(t *testing.T) {
+	for _, v := range protoVariants() {
+		t.Run(v.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Core.Nodes = 8
+			cfg.Core.P, cfg.Core.M, cfg.Core.CW = v.p, v.m, v.cw
+			cfg.Core.VerifyData = true
+			cfg.Core.SLCSets = 8 // brutal: constant replacement
+			cfg.Core.FLWBEntries = 2
+			cfg.Core.SLWBEntries = 2
+			m, err := New(cfg, randomStreams(8, 400, 999))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRandomWorkloadOnMesh(t *testing.T) {
+	for _, bits := range []int{64, 32, 16} {
+		t.Run(fmt.Sprintf("%dbit", bits), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Core.Nodes = 16
+			cfg.Core.P, cfg.Core.CW = true, true
+			cfg.Net = NetMesh
+			cfg.LinkBits = bits
+			m, err := New(cfg, randomStreams(16, 200, 777))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *Result {
+		cfg := DefaultConfig()
+		cfg.Core.Nodes = 8
+		cfg.Core.P, cfg.Core.M = true, true
+		m, err := New(cfg, randomStreams(8, 300, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.ExecTime != b.ExecTime {
+		t.Fatalf("nondeterministic execution time: %d vs %d", a.ExecTime, b.ExecTime)
+	}
+	if a.Traffic.TotalBytes() != b.Traffic.TotalBytes() {
+		t.Fatalf("nondeterministic traffic: %d vs %d", a.Traffic.TotalBytes(), b.Traffic.TotalBytes())
+	}
+	if a.Misses != b.Misses {
+		t.Fatalf("nondeterministic misses: %v vs %v", a.Misses, b.Misses)
+	}
+}
+
+func TestManySeedsStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		for _, v := range protoVariants() {
+			cfg := DefaultConfig()
+			cfg.Core.Nodes = 8
+			cfg.Core.P, cfg.Core.M, cfg.Core.CW = v.p, v.m, v.cw
+			cfg.Core.VerifyData = true
+			cfg.Core.SLCSets = 16
+			m, err := New(cfg, randomStreams(8, 300, seed*31+7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatalf("seed %d proto %s: %v", seed, v.name, err)
+			}
+		}
+	}
+}
+
+func TestCriticalSectionCounterIsMigratory(t *testing.T) {
+	// The classic x:=x+1 critical-section pattern the paper attributes
+	// migratory sharing to: under M the block must be detected migratory
+	// and ownership requests must (almost) vanish.
+	counter := memsys.Addr(0)
+	lock := memsys.Addr(50 * memsys.PageSize)
+	streams := func(n int) []proc.Stream {
+		out := make([]proc.Stream, n)
+		for i := range out {
+			ops := []proc.Op{{Kind: proc.OpStatsOn}}
+			for k := 0; k < 20; k++ {
+				ops = append(ops,
+					proc.Op{Kind: proc.OpAcquire, Addr: lock},
+					proc.Op{Kind: proc.OpRead, Addr: counter},
+					proc.Op{Kind: proc.OpWrite, Addr: counter},
+					proc.Op{Kind: proc.OpRelease, Addr: lock},
+					proc.Op{Kind: proc.OpBusy, Cycles: 20},
+				)
+			}
+			out[i] = proc.NewSliceStream(ops...)
+		}
+		return out
+	}
+	results := map[bool]*Result{}
+	for _, mOn := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.Core.Nodes = 4
+		cfg.Core.M = mOn
+		mach, err := New(cfg, streams(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := mach.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[mOn] = r
+	}
+	if results[true].MigDetections == 0 {
+		t.Fatal("counter block never detected migratory")
+	}
+	if results[true].OwnReqs >= results[false].OwnReqs/2 {
+		t.Fatalf("M did not cut ownership requests: %d (M) vs %d (BASIC)",
+			results[true].OwnReqs, results[false].OwnReqs)
+	}
+	if results[true].ExclSupplies == 0 {
+		t.Fatal("no exclusive supplies under M")
+	}
+}
+
+func TestProducerConsumerCWCutsCoherenceMisses(t *testing.T) {
+	// Producer-consumer across barriers: one writer updates a block each
+	// phase, readers consume it. CW must turn the readers' coherence
+	// misses into updates.
+	blockA := memsys.Addr(0)
+	streams := func(n int) []proc.Stream {
+		out := make([]proc.Stream, n)
+		for i := range out {
+			ops := []proc.Op{{Kind: proc.OpStatsOn}}
+			for phase := 0; phase < 16; phase++ {
+				if i == 0 {
+					ops = append(ops, proc.Op{Kind: proc.OpWrite, Addr: blockA})
+				} else {
+					ops = append(ops, proc.Op{Kind: proc.OpRead, Addr: blockA})
+				}
+				ops = append(ops, proc.Op{Kind: proc.OpBarrier, Bar: phase})
+			}
+			out[i] = proc.NewSliceStream(ops...)
+		}
+		return out
+	}
+	results := map[bool]*Result{}
+	for _, cw := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.Core.Nodes = 4
+		cfg.Core.CW = cw
+		mach, err := New(cfg, streams(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := mach.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[cw] = r
+	}
+	basic, cw := results[false], results[true]
+	if cw.Misses[stats.Coherence] >= basic.Misses[stats.Coherence] {
+		t.Fatalf("CW did not cut coherence misses: %d vs %d",
+			cw.Misses[stats.Coherence], basic.Misses[stats.Coherence])
+	}
+	if cw.UpdateReqs == 0 {
+		t.Fatal("no updates issued under CW")
+	}
+}
+
+func TestSequentialStreamPrefetchingCutsColdMisses(t *testing.T) {
+	// A processor streaming through memory: P must eliminate most cold
+	// misses.
+	streams := func(n int) []proc.Stream {
+		out := make([]proc.Stream, n)
+		for i := range out {
+			ops := []proc.Op{{Kind: proc.OpStatsOn}}
+			base := memsys.Addr(i * 16 * memsys.PageSize)
+			for k := 0; k < 256; k++ {
+				ops = append(ops,
+					proc.Op{Kind: proc.OpRead, Addr: base + memsys.Addr(k*memsys.BlockSize)},
+					proc.Op{Kind: proc.OpBusy, Cycles: 10},
+				)
+			}
+			out[i] = proc.NewSliceStream(ops...)
+		}
+		return out
+	}
+	results := map[bool]*Result{}
+	for _, pOn := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.Core.Nodes = 4
+		cfg.Core.P = pOn
+		mach, err := New(cfg, streams(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := mach.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[pOn] = r
+	}
+	basic, p := results[false], results[true]
+	if p.Misses[stats.Cold]*3 > basic.Misses[stats.Cold] {
+		t.Fatalf("P did not cut cold misses enough: %d vs %d",
+			p.Misses[stats.Cold], basic.Misses[stats.Cold])
+	}
+	if p.ExecTime >= basic.ExecTime {
+		t.Fatalf("P did not speed up streaming: %d vs %d", p.ExecTime, basic.ExecTime)
+	}
+	if p.Prefetch.Issued == 0 || p.Prefetch.Useful == 0 {
+		t.Fatalf("prefetch stats empty: %+v", p.Prefetch)
+	}
+}
+
+func TestMaxTimeAborts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Core.Nodes = 4
+	cfg.MaxTime = 50 // far too short for any miss to complete
+	streams := make([]proc.Stream, 4)
+	for i := range streams {
+		streams[i] = proc.NewSliceStream(
+			proc.Op{Kind: proc.OpStatsOn},
+			proc.Op{Kind: proc.OpRead, Addr: memsys.Addr(i * memsys.PageSize)},
+			proc.Op{Kind: proc.OpBusy, Cycles: 10000},
+		)
+	}
+	m, err := New(cfg, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil {
+		t.Fatal("MaxTime did not abort the run")
+	}
+}

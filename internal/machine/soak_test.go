@@ -1,0 +1,35 @@
+package machine
+
+import "testing"
+
+// TestFinalSoak is a last heavy randomized pass: long streams, all
+// protocol combinations, adversarial cache/buffer geometry, data-value
+// verification on.
+func TestFinalSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for seed := int64(1000); seed < 1040; seed++ {
+		v := protoVariants()[seed%8]
+		cfg := DefaultConfig()
+		cfg.Core.Nodes = 8
+		cfg.Core.P, cfg.Core.M, cfg.Core.CW = v.p, v.m, v.cw
+		cfg.Core.SC = seed%4 == 0 && !v.cw
+		cfg.Core.VerifyData = true
+		cfg.Core.SLCSets = []int{0, 8, 32}[seed%3]
+		cfg.Core.SLCWays = 1 + int(seed%2)
+		if cfg.Core.SLCSets%cfg.Core.SLCWays != 0 {
+			cfg.Core.SLCWays = 1
+		}
+		cfg.Core.DirPointers = int(seed % 3)
+		cfg.Core.FLWBEntries = 1 + int(seed%3)
+		cfg.Core.SLWBEntries = 1 + int(seed%4)
+		m, err := New(cfg, randomStreams(8, 2500, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("seed %d proto %s: %v", seed, v.name, err)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package network models the machine interconnect. Two models from the
+// paper are provided:
+//
+//   - Uniform: the default contention-free network with a fixed 54-pclock
+//     node-to-node latency ("we assume a contention-free uniform access time
+//     network", paper §4). Node-internal contention is modeled elsewhere.
+//
+//   - Mesh: the wormhole-routed 2-D mesh of §5.3, dimension-order (X then Y)
+//     routed, two phases (routing + transfer) per hop, clocked at the
+//     processor frequency, with configurable link width (64/32/16 bits).
+//     Link contention is modeled by FIFO reservation of every directed link
+//     along the route.
+package network
+
+import (
+	"fmt"
+
+	"ccsim/internal/sim"
+)
+
+// Net delivers messages between nodes. deliver runs at the destination when
+// the message's last byte arrives.
+type Net interface {
+	// Send transmits a message of the given size in bytes from src to dst
+	// and schedules deliver at arrival time. src == dst is legal and
+	// delivers on the next event with no latency (the local case is
+	// handled by the node's bus, not the network).
+	Send(src, dst, bytes int, deliver func())
+	// Name identifies the network model for reports.
+	Name() string
+}
+
+// Uniform is the contention-free fixed-latency network.
+type Uniform struct {
+	eng     *sim.Engine
+	latency sim.Time
+}
+
+// NewUniform returns a uniform network with the given one-way latency.
+func NewUniform(eng *sim.Engine, latency sim.Time) *Uniform {
+	return &Uniform{eng: eng, latency: latency}
+}
+
+// Send implements Net.
+func (u *Uniform) Send(src, dst, bytes int, deliver func()) {
+	if src == dst {
+		u.eng.After(0, deliver)
+		return
+	}
+	u.eng.After(u.latency, deliver)
+}
+
+// Name implements Net.
+func (u *Uniform) Name() string { return fmt.Sprintf("uniform(%d)", u.latency) }
+
+// Mesh is the wormhole-routed 2-D mesh. For a message of F flits crossing H
+// hops, the header advances one hop per 2 cycles (routing phase + transfer
+// phase) and the body streams behind it at one flit per cycle, so the
+// uncontended latency is 2*H + F cycles. Each directed link is reserved
+// FIFO for the duration the worm occupies it; a blocked header waits for
+// the link to free, which is the coarse-grain equivalent of wormhole
+// blocking.
+type Mesh struct {
+	eng           *sim.Engine
+	width, height int
+	bytesPerFlit  int
+
+	// freeAt[l] is when directed link l is next free. Links are indexed by
+	// (from, to) pairs of adjacent nodes.
+	freeAt map[[2]int]sim.Time
+
+	// Statistics.
+	msgs      uint64
+	flitsSent uint64
+	waitTime  sim.Time
+}
+
+// NewMesh returns a width x height wormhole mesh with links of the given
+// width in bits (must be a multiple of 8).
+func NewMesh(eng *sim.Engine, width, height, linkBits int) *Mesh {
+	if linkBits%8 != 0 || linkBits <= 0 {
+		panic("network: link width must be a positive multiple of 8 bits")
+	}
+	return &Mesh{
+		eng:          eng,
+		width:        width,
+		height:       height,
+		bytesPerFlit: linkBits / 8,
+		freeAt:       make(map[[2]int]sim.Time),
+	}
+}
+
+// Name implements Net.
+func (m *Mesh) Name() string {
+	return fmt.Sprintf("mesh%dx%d(%d-bit)", m.width, m.height, m.bytesPerFlit*8)
+}
+
+func (m *Mesh) xy(n int) (x, y int) { return n % m.width, n / m.width }
+func (m *Mesh) node(x, y int) int   { return y*m.width + x }
+
+// Route returns the dimension-order (X then Y) route from src to dst as a
+// node sequence including both endpoints.
+func (m *Mesh) Route(src, dst int) []int {
+	x, y := m.xy(src)
+	dx, dy := m.xy(dst)
+	route := []int{src}
+	for x != dx {
+		if x < dx {
+			x++
+		} else {
+			x--
+		}
+		route = append(route, m.node(x, y))
+	}
+	for y != dy {
+		if y < dy {
+			y++
+		} else {
+			y--
+		}
+		route = append(route, m.node(x, y))
+	}
+	return route
+}
+
+// Flits returns the number of flits a message of the given size occupies.
+func (m *Mesh) Flits(bytes int) int {
+	f := (bytes + m.bytesPerFlit - 1) / m.bytesPerFlit
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// Send implements Net.
+func (m *Mesh) Send(src, dst, bytes int, deliver func()) {
+	if src == dst {
+		m.eng.After(0, deliver)
+		return
+	}
+	flits := sim.Time(m.Flits(bytes))
+	route := m.Route(src, dst)
+	t := m.eng.Now()
+	for i := 0; i+1 < len(route); i++ {
+		link := [2]int{route[i], route[i+1]}
+		start := t
+		if f := m.freeAt[link]; f > start {
+			m.waitTime += f - start
+			start = f
+			// Wormhole blocking: while the header waits here, the worm's
+			// body keeps occupying every upstream link of its route — the
+			// tree saturation that makes wormhole meshes degrade sharply
+			// near their capacity.
+			for k := 0; k < i; k++ {
+				up := [2]int{route[k], route[k+1]}
+				if hold := start + flits; m.freeAt[up] < hold {
+					m.freeAt[up] = hold
+				}
+			}
+		}
+		// The worm occupies the link from header entry until the tail has
+		// passed: routing + transfer phases plus the body flits.
+		m.freeAt[link] = start + 2 + flits
+		m.flitsSent += uint64(flits)
+		// The header is through this hop after the two phases.
+		t = start + 2
+	}
+	m.msgs++
+	// The tail arrives one flit time per body flit after the header.
+	m.eng.At(t+flits, deliver)
+}
+
+// Msgs returns the number of messages sent.
+func (m *Mesh) Msgs() uint64 { return m.msgs }
+
+// WaitTime returns the cumulative header blocking time across all links, a
+// direct measure of network contention.
+func (m *Mesh) WaitTime() sim.Time { return m.waitTime }

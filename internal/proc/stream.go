@@ -1,0 +1,27 @@
+package proc
+
+// SliceStream replays a fixed slice of operations; handy for tests and
+// hand-built scenarios.
+type SliceStream struct {
+	ops []Op
+	i   int
+}
+
+// NewSliceStream returns a stream over ops.
+func NewSliceStream(ops ...Op) *SliceStream { return &SliceStream{ops: ops} }
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Op, bool) {
+	if s.i >= len(s.ops) {
+		return Op{}, false
+	}
+	op := s.ops[s.i]
+	s.i++
+	return op, true
+}
+
+// FuncStream adapts a generator function to a Stream.
+type FuncStream func() (Op, bool)
+
+// Next implements Stream.
+func (f FuncStream) Next() (Op, bool) { return f() }

@@ -1,0 +1,135 @@
+// Package sim provides the deterministic discrete-event engine that drives
+// the multiprocessor simulation. Time is counted in processor clocks
+// (pclocks; 1 pclock = 10 ns at the paper's 100 MHz). Events scheduled for
+// the same instant execute in the order they were scheduled, which makes
+// every simulation bit-reproducible.
+package sim
+
+import "fmt"
+
+// Time is a point in simulated time, in pclocks.
+type Time int64
+
+// Event is a callback scheduled to run at a given simulated time.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// Engine is a discrete-event simulation kernel. The zero value is not ready
+// to use; call NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	heap   []event
+	nsteps uint64
+}
+
+// NewEngine returns an engine with an empty event queue at time 0.
+func NewEngine() *Engine {
+	return &Engine{heap: make([]event, 0, 1024)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a bug in a component's timing arithmetic.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d, before now %d", t, e.now))
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d pclocks from now. d must be >= 0.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step executes the single earliest pending event and reports whether one
+// was executed.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := e.pop()
+	e.now = ev.at
+	e.nsteps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t. Events scheduled beyond t remain queued.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.heap) > 0 && e.heap[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunWhile executes events until the queue drains or cond returns false.
+// cond is checked before each event.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}
+
+func (e *Engine) less(i, j int) bool {
+	if e.heap[i].at != e.heap[j].at {
+		return e.heap[i].at < e.heap[j].at
+	}
+	return e.heap[i].seq < e.heap[j].seq
+}
+
+func (e *Engine) push(ev event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() event {
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && e.less(l, smallest) {
+			smallest = l
+		}
+		if r < last && e.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
+		i = smallest
+	}
+	return top
+}

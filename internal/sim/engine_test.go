@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, d := range []Time{30, 10, 20, 10, 5} {
+		d := d
+		e.After(d, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{5, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d ran at %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	e.At(1, func() {
+		trace = append(trace, e.Now())
+		e.After(2, func() {
+			trace = append(trace, e.Now())
+			e.After(0, func() { trace = append(trace, e.Now()) })
+		})
+	})
+	e.Run()
+	want := []Time{1, 3, 3}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(5, func() { ran++ })
+	e.At(10, func() { ran++ })
+	e.At(15, func() { ran++ })
+	e.RunUntil(10)
+	if ran != 2 {
+		t.Fatalf("ran %d events by t=10, want 2", ran)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %d after RunUntil(10)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if ran != 3 || e.Now() != 15 {
+		t.Fatalf("after Run: ran=%d now=%d", ran, e.Now())
+	}
+}
+
+func TestEngineRunWhile(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	for i := 1; i <= 100; i++ {
+		e.At(Time(i), func() { ran++ })
+	}
+	e.RunWhile(func() bool { return ran < 10 })
+	if ran != 10 {
+		t.Fatalf("RunWhile stopped after %d events, want 10", ran)
+	}
+}
+
+func TestEngineStepOnEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step() on empty queue returned true")
+	}
+	if e.Now() != 0 {
+		t.Fatal("time advanced with no events")
+	}
+}
+
+// Property: for any random schedule, events execute in nondecreasing time
+// order and every scheduled event executes exactly once.
+func TestEngineOrderingProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) > 500 {
+			delays = delays[:500]
+		}
+		e := NewEngine()
+		var times []Time
+		for _, d := range delays {
+			e.After(Time(d), func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		if len(times) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] }) {
+			return false
+		}
+		sorted := make([]Time, len(delays))
+		for i, d := range delays {
+			sorted[i] = Time(d)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range sorted {
+			if times[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		rng := rand.New(rand.NewSource(42))
+		var trace []Time
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			trace = append(trace, e.Now())
+			if depth < 3 {
+				for i := 0; i < 2; i++ {
+					e.After(Time(rng.Intn(20)), func() { spawn(depth + 1) })
+				}
+			}
+		}
+		for i := 0; i < 8; i++ {
+			e.After(Time(rng.Intn(50)), func() { spawn(0) })
+		}
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic event count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic trace at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestResourceFIFOQueueing(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "bus")
+	var done []Time
+	// Three back-to-back requests of 10 pclocks each, all issued at t=0:
+	// they must complete at 10, 20, 30.
+	for i := 0; i < 3; i++ {
+		r.Use(10, func() { done = append(done, e.Now()) })
+	}
+	e.Run()
+	want := []Time{10, 20, 30}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+	if r.BusyTime() != 30 {
+		t.Fatalf("BusyTime = %d, want 30", r.BusyTime())
+	}
+	if r.WaitTime() != 10+20 {
+		t.Fatalf("WaitTime = %d, want 30", r.WaitTime())
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "mem")
+	var done []Time
+	r.Use(5, func() { done = append(done, e.Now()) })
+	e.At(100, func() {
+		start := r.Use(5, func() { done = append(done, e.Now()) })
+		if start != 100 {
+			t.Errorf("request to idle resource started at %d, want 100", start)
+		}
+	})
+	e.Run()
+	if done[0] != 5 || done[1] != 105 {
+		t.Fatalf("completions = %v, want [5 105]", done)
+	}
+	if r.WaitTime() != 0 {
+		t.Fatalf("WaitTime = %d for uncontended uses", r.WaitTime())
+	}
+}
+
+func TestResourceZeroDuration(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "r")
+	fired := false
+	r.Use(0, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("zero-duration use never completed")
+	}
+}
+
+// Property: a resource never overlaps two services, regardless of the
+// request pattern.
+func TestResourceNoOverlapProperty(t *testing.T) {
+	f := func(reqs []struct{ At, Dur uint8 }) bool {
+		e := NewEngine()
+		r := NewResource(e, "x")
+		type span struct{ start, end Time }
+		var spans []span
+		for _, q := range reqs {
+			q := q
+			e.At(Time(q.At), func() {
+				start := r.Use(Time(q.Dur), nil)
+				spans = append(spans, span{start, start + Time(q.Dur)})
+			})
+		}
+		e.Run()
+		sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+		for i := 1; i < len(spans); i++ {
+			if spans[i].start < spans[i-1].end {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourcePipelined(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "slc")
+	var done []Time
+	// Occupancy 3, latency 6: back-to-back requests complete at 6, 9, 12
+	// (pipelined), not 6, 12, 18.
+	for i := 0; i < 3; i++ {
+		r.UsePipelined(3, 6, func() { done = append(done, e.Now()) })
+	}
+	e.Run()
+	want := []Time{6, 9, 12}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions %v, want %v", done, want)
+		}
+	}
+	if r.BusyTime() != 9 {
+		t.Fatalf("BusyTime = %d, want 9", r.BusyTime())
+	}
+}
+
+func TestResourcePipelinedBadLatencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("latency < occupancy did not panic")
+		}
+	}()
+	e := NewEngine()
+	NewResource(e, "x").UsePipelined(6, 3, nil)
+}

@@ -1,0 +1,77 @@
+package sim
+
+// Resource models a unit that services requests one at a time in FIFO order
+// of arrival: a split-transaction bus, an interleaved memory module, a mesh
+// link. A request occupies the resource for a caller-specified duration;
+// requests arriving while it is occupied queue behind it. This is the whole
+// of the paper's "contention is accurately modelled in each node".
+type Resource struct {
+	eng    *Engine
+	name   string
+	freeAt Time
+
+	// Statistics.
+	uses     uint64
+	busyTime Time
+	waitTime Time
+}
+
+// NewResource returns an idle resource attached to eng.
+func NewResource(eng *Engine, name string) *Resource {
+	return &Resource{eng: eng, name: name}
+}
+
+// Name returns the identifier given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// Use reserves the resource for dur pclocks starting at the earliest instant
+// >= now at which it is free, and schedules done to run when service
+// completes. It returns the time at which service will begin.
+func (r *Resource) Use(dur Time, done func()) Time {
+	start := r.eng.Now()
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.uses++
+	r.waitTime += start - r.eng.Now()
+	r.busyTime += dur
+	r.freeAt = start + dur
+	if done != nil {
+		r.eng.At(start+dur, done)
+	}
+	return start
+}
+
+// UsePipelined reserves the resource for occupy pclocks (its cycle time)
+// but schedules done only after latency pclocks from service start — the
+// behavior of a pipelined SRAM whose cycle time is shorter than its access
+// latency. latency must be >= occupy.
+func (r *Resource) UsePipelined(occupy, latency Time, done func()) Time {
+	if latency < occupy {
+		panic("sim: pipelined latency shorter than occupancy")
+	}
+	start := r.eng.Now()
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.uses++
+	r.waitTime += start - r.eng.Now()
+	r.busyTime += occupy
+	r.freeAt = start + occupy
+	if done != nil {
+		r.eng.At(start+latency, done)
+	}
+	return start
+}
+
+// FreeAt returns the time at which the resource next becomes idle.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// Uses returns how many requests have been serviced or queued.
+func (r *Resource) Uses() uint64 { return r.uses }
+
+// BusyTime returns total occupied pclocks.
+func (r *Resource) BusyTime() Time { return r.busyTime }
+
+// WaitTime returns total pclocks requests spent queued before service.
+func (r *Resource) WaitTime() Time { return r.waitTime }

@@ -1,0 +1,211 @@
+// Package stats collects the measurements the paper reports: per-processor
+// execution-time decomposition (busy / read / write / acquire / release
+// stall), miss-rate components classified cold / coherence / replacement,
+// and network traffic in bytes. Statistics can be gated so that only the
+// parallel section is measured, per the SPLASH methodology the paper
+// follows.
+package stats
+
+// Proc accumulates one processor's time decomposition and reference counts.
+// All times are in pclocks.
+type Proc struct {
+	Busy         int64
+	ReadStall    int64
+	WriteStall   int64
+	AcquireStall int64 // lock-acquire waits
+	BarrierStall int64 // barrier waits (reported with acquire stall, as the paper does)
+	ReleaseStall int64
+
+	Reads          uint64 // shared-data reads issued
+	Writes         uint64 // shared-data writes issued
+	FLCReadMisses  uint64
+	SLCReadMisses  uint64 // demand read misses at the SLC (incl. partial hits on pending prefetches)
+	WriteCacheHits uint64 // reads serviced by the write cache
+
+	Acquires uint64
+	Releases uint64
+	Barriers uint64
+}
+
+// Total returns the processor's total execution time.
+func (p *Proc) Total() int64 {
+	return p.Busy + p.ReadStall + p.WriteStall + p.AcquireStall + p.BarrierStall + p.ReleaseStall
+}
+
+// MissKind classifies an SLC read miss.
+type MissKind int
+
+const (
+	// Cold: the processor has never had this block in its SLC.
+	Cold MissKind = iota
+	// Coherence: the block was present but was invalidated by a coherence
+	// action (invalidation, competitive-update counter expiry, or a
+	// migratory exclusive transfer to another node).
+	Coherence
+	// Replacement: the block was present but was evicted to make room.
+	Replacement
+	nMissKinds
+)
+
+func (k MissKind) String() string {
+	switch k {
+	case Cold:
+		return "cold"
+	case Coherence:
+		return "coherence"
+	case Replacement:
+		return "replacement"
+	}
+	return "?"
+}
+
+// Misses counts SLC read misses by kind.
+type Misses [nMissKinds]uint64
+
+// Add records one miss of kind k.
+func (m *Misses) Add(k MissKind) { m[k]++ }
+
+// Total returns the total number of misses.
+func (m *Misses) Total() uint64 {
+	var t uint64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// MsgClass categorizes network messages for traffic accounting.
+type MsgClass int
+
+const (
+	CtlMsg    MsgClass = iota // requests, invalidations, acks
+	DataMsg                   // replies carrying a whole block
+	UpdateMsg                 // competitive-update messages (partial blocks)
+	SyncMsg                   // lock and barrier messages
+	nMsgClasses
+)
+
+func (c MsgClass) String() string {
+	switch c {
+	case CtlMsg:
+		return "control"
+	case DataMsg:
+		return "data"
+	case UpdateMsg:
+		return "update"
+	case SyncMsg:
+		return "sync"
+	}
+	return "?"
+}
+
+// Traffic accumulates network traffic by message class.
+type Traffic struct {
+	Msgs  [nMsgClasses]uint64
+	Bytes [nMsgClasses]uint64
+}
+
+// Add records one message of class c and the given size in bytes.
+func (t *Traffic) Add(c MsgClass, bytes int) {
+	t.Msgs[c]++
+	t.Bytes[c] += uint64(bytes)
+}
+
+// TotalBytes returns total bytes across all classes.
+func (t *Traffic) TotalBytes() uint64 {
+	var s uint64
+	for _, b := range t.Bytes {
+		s += b
+	}
+	return s
+}
+
+// TotalMsgs returns total messages across all classes.
+func (t *Traffic) TotalMsgs() uint64 {
+	var s uint64
+	for _, m := range t.Msgs {
+		s += m
+	}
+	return s
+}
+
+// Prefetch accumulates prefetching-effectiveness counters.
+type Prefetch struct {
+	Issued   uint64 // prefetch requests sent to memory
+	Useful   uint64 // prefetched blocks later referenced by the processor
+	Discard  uint64 // prefetched blocks invalidated or replaced unreferenced
+	PartHits uint64 // demand misses that hit a pending prefetch
+	Nacked   uint64 // prefetches rejected because the block was dirty remotely
+}
+
+// latencyBounds are the upper bounds (pclocks) of the histogram buckets;
+// the last bucket is unbounded.
+var latencyBounds = [...]int64{32, 64, 128, 256, 512, 1024, 2048}
+
+// LatencyHist buckets service times so runs can report the distribution of
+// demand-miss latencies, not just the mean (contention shows up in the
+// tail first).
+type LatencyHist struct {
+	Buckets [len(latencyBounds) + 1]uint64
+}
+
+// Add records one service time.
+func (h *LatencyHist) Add(pclocks int64) {
+	for i, b := range latencyBounds {
+		if pclocks <= b {
+			h.Buckets[i]++
+			return
+		}
+	}
+	h.Buckets[len(h.Buckets)-1]++
+}
+
+// Merge accumulates another histogram into h.
+func (h *LatencyHist) Merge(o LatencyHist) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Total returns the sample count.
+func (h *LatencyHist) Total() uint64 {
+	var t uint64
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// Percentile returns the upper bound of the bucket containing the p-th
+// percentile (0 < p <= 100), or 0 with no samples. The last bucket reports
+// its lower bound (its upper bound is unbounded).
+func (h *LatencyHist) Percentile(p float64) int64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(p / 100 * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, n := range h.Buckets {
+		seen += n
+		if seen >= target {
+			if i < len(latencyBounds) {
+				return latencyBounds[i]
+			}
+			return latencyBounds[len(latencyBounds)-1]
+		}
+	}
+	return latencyBounds[len(latencyBounds)-1]
+}
+
+// BucketBound returns bucket i's upper bound (the last bucket returns the
+// previous bound; it is unbounded above).
+func BucketBound(i int) int64 {
+	if i < len(latencyBounds) {
+		return latencyBounds[i]
+	}
+	return latencyBounds[len(latencyBounds)-1]
+}

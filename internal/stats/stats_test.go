@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccsim/internal/memsys"
+)
+
+func TestProcTotal(t *testing.T) {
+	p := Proc{Busy: 10, ReadStall: 20, WriteStall: 5, AcquireStall: 3, ReleaseStall: 2}
+	if p.Total() != 40 {
+		t.Fatalf("Total = %d, want 40", p.Total())
+	}
+}
+
+func TestMissesAddAndTotal(t *testing.T) {
+	var m Misses
+	m.Add(Cold)
+	m.Add(Cold)
+	m.Add(Coherence)
+	m.Add(Replacement)
+	if m[Cold] != 2 || m[Coherence] != 1 || m[Replacement] != 1 {
+		t.Fatalf("misses = %v", m)
+	}
+	if m.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", m.Total())
+	}
+}
+
+func TestMissKindString(t *testing.T) {
+	if Cold.String() != "cold" || Coherence.String() != "coherence" || Replacement.String() != "replacement" {
+		t.Fatal("MissKind strings wrong")
+	}
+}
+
+func TestTraffic(t *testing.T) {
+	var tr Traffic
+	tr.Add(CtlMsg, 8)
+	tr.Add(DataMsg, 40)
+	tr.Add(DataMsg, 40)
+	tr.Add(UpdateMsg, 16)
+	if tr.TotalBytes() != 104 || tr.TotalMsgs() != 4 {
+		t.Fatalf("bytes=%d msgs=%d", tr.TotalBytes(), tr.TotalMsgs())
+	}
+	if tr.Bytes[DataMsg] != 80 || tr.Msgs[CtlMsg] != 1 {
+		t.Fatalf("per-class wrong: %+v", tr)
+	}
+}
+
+func TestClassifierColdFirstMiss(t *testing.T) {
+	c := NewClassifier()
+	if got := c.Classify(7); got != Cold {
+		t.Fatalf("first miss classified %v, want cold", got)
+	}
+	if c.Seen(7) {
+		t.Fatal("Seen before any fill")
+	}
+}
+
+func TestClassifierCoherence(t *testing.T) {
+	c := NewClassifier()
+	c.Fill(3)
+	c.Invalidate(3)
+	if got := c.Classify(3); got != Coherence {
+		t.Fatalf("miss after invalidation classified %v, want coherence", got)
+	}
+}
+
+func TestClassifierReplacement(t *testing.T) {
+	c := NewClassifier()
+	c.Fill(3)
+	c.Evict(3)
+	if got := c.Classify(3); got != Replacement {
+		t.Fatalf("miss after eviction classified %v, want replacement", got)
+	}
+}
+
+func TestClassifierRefillResets(t *testing.T) {
+	c := NewClassifier()
+	c.Fill(3)
+	c.Invalidate(3)
+	c.Fill(3) // brought back
+	c.Evict(3)
+	if got := c.Classify(3); got != Replacement {
+		t.Fatalf("invalidate->fill->evict classified %v, want replacement", got)
+	}
+}
+
+func TestClassifierEvictWithoutFillIgnored(t *testing.T) {
+	c := NewClassifier()
+	c.Evict(9)      // spurious
+	c.Invalidate(9) // spurious
+	if got := c.Classify(9); got != Cold {
+		t.Fatalf("never-filled block classified %v, want cold", got)
+	}
+}
+
+// Property: classification is never Cold once the block has been filled,
+// for any sequence of events.
+func TestClassifierNeverColdAfterFillProperty(t *testing.T) {
+	f := func(events []uint8) bool {
+		c := NewClassifier()
+		b := memsys.Block(1)
+		c.Fill(b)
+		for _, e := range events {
+			switch e % 3 {
+			case 0:
+				c.Fill(b)
+			case 1:
+				c.Evict(b)
+			case 2:
+				c.Invalidate(b)
+			}
+		}
+		return c.Classify(b) != Cold && c.Seen(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after Fill, only the most recent departure event decides the
+// classification.
+func TestClassifierLastDepartureWinsProperty(t *testing.T) {
+	f := func(n uint8, lastIsInv bool) bool {
+		c := NewClassifier()
+		b := memsys.Block(2)
+		for i := 0; i < int(n%8)+1; i++ {
+			c.Fill(b)
+			if i%2 == 0 {
+				c.Evict(b)
+			} else {
+				c.Invalidate(b)
+			}
+		}
+		c.Fill(b)
+		if lastIsInv {
+			c.Invalidate(b)
+			return c.Classify(b) == Coherence
+		}
+		c.Evict(b)
+		return c.Classify(b) == Replacement
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyHist(t *testing.T) {
+	var h LatencyHist
+	if h.Percentile(50) != 0 {
+		t.Fatal("empty histogram percentile not 0")
+	}
+	for _, v := range []int64{10, 30, 60, 100, 300, 3000} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Buckets[0] != 2 { // 10, 30 <= 32
+		t.Fatalf("bucket 0 = %d", h.Buckets[0])
+	}
+	if h.Buckets[len(h.Buckets)-1] != 1 { // 3000 overflows
+		t.Fatal("overflow bucket wrong")
+	}
+	if p := h.Percentile(50); p != 64 {
+		t.Fatalf("P50 = %d, want 64 (bucket bound of the 3rd sample)", p)
+	}
+	if p := h.Percentile(100); p != 2048 {
+		t.Fatalf("P100 = %d", p)
+	}
+	var o LatencyHist
+	o.Add(10)
+	h.Merge(o)
+	if h.Total() != 7 || h.Buckets[0] != 3 {
+		t.Fatal("merge wrong")
+	}
+}
+
+func TestLatencyHistMonotonicProperty(t *testing.T) {
+	var h LatencyHist
+	for i := int64(1); i < 4000; i += 37 {
+		h.Add(i)
+	}
+	last := int64(0)
+	for _, p := range []float64{10, 25, 50, 75, 90, 99} {
+		v := h.Percentile(p)
+		if v < last {
+			t.Fatalf("percentiles not monotonic at %v: %d < %d", p, v, last)
+		}
+		last = v
+	}
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func ev(at int64, k Kind, what string, blk uint64, node int) Event {
+	return Event{At: at, Kind: k, What: what, Block: blk, Node: node, Peer: -1}
+}
+
+func TestTracerBuffersAndStreams(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, Filter{})
+	tr.Record(ev(10, MsgSend, "ReadReq", 5, 0))
+	tr.Record(ev(20, MsgDeliver, "ReadReq", 5, 1))
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ReadReq") || !strings.Contains(out, "T10") {
+		t.Fatalf("stream output wrong:\n%s", out)
+	}
+	evs := tr.Events()
+	if evs[0].At != 10 || evs[1].At != 20 {
+		t.Fatal("buffered order wrong")
+	}
+}
+
+func TestTracerKindFilter(t *testing.T) {
+	tr := New(nil, Filter{Kinds: []Kind{DirTransition}})
+	tr.Record(ev(1, MsgSend, "x", 0, 0))
+	tr.Record(ev(2, DirTransition, "grant", 0, 0))
+	if tr.Len() != 1 || tr.Events()[0].Kind != DirTransition {
+		t.Fatalf("filter failed: %v", tr.Events())
+	}
+}
+
+func TestTracerBlockAndNodeFilter(t *testing.T) {
+	tr := New(nil, Filter{Blocks: []uint64{7}, Nodes: []int{2}})
+	tr.Record(ev(1, MsgSend, "a", 7, 2)) // match
+	tr.Record(ev(2, MsgSend, "b", 7, 3)) // wrong node
+	tr.Record(ev(3, MsgSend, "c", 8, 2)) // wrong block
+	if tr.Len() != 1 || tr.Events()[0].What != "a" {
+		t.Fatalf("filter failed: %v", tr.Events())
+	}
+}
+
+func TestTracerLimitDrops(t *testing.T) {
+	tr := New(nil, Filter{})
+	tr.SetLimit(2)
+	for i := 0; i < 5; i++ {
+		tr.Record(ev(int64(i), MsgSend, "x", 0, 0))
+	}
+	if tr.Len() != 2 || tr.Drops() != 3 {
+		t.Fatalf("len=%d drops=%d", tr.Len(), tr.Drops())
+	}
+}
+
+func TestSummaryOrdersByCount(t *testing.T) {
+	tr := New(nil, Filter{})
+	for i := 0; i < 3; i++ {
+		tr.Record(ev(int64(i), MsgSend, "ReadReq", 0, 0))
+	}
+	tr.Record(ev(9, MsgSend, "Inv", 0, 0))
+	s := tr.Summary()
+	if !strings.Contains(s, "3  send/ReadReq") {
+		t.Fatalf("summary wrong:\n%s", s)
+	}
+	if strings.Index(s, "ReadReq") > strings.Index(s, "Inv") {
+		t.Fatalf("summary not frequency-ordered:\n%s", s)
+	}
+}
+
+func TestBlockHistory(t *testing.T) {
+	tr := New(nil, Filter{})
+	tr.Record(ev(1, MsgSend, "a", 10, 0))
+	tr.Record(ev(2, MsgSend, "b", 11, 0))
+	tr.Record(ev(3, MsgSend, "c", 10, 0))
+	h := tr.BlockHistory(10)
+	if len(h) != 2 || h[0].What != "a" || h[1].What != "c" {
+		t.Fatalf("history wrong: %v", h)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 42, Kind: MsgSend, What: "OwnReq", Block: 9, Node: 1, Peer: 3, Note: "excl"}
+	s := e.String()
+	for _, want := range []string{"T42", "send", "n1", "->3", "OwnReq", "blk9", "excl"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	noPeer := ev(1, CacheFill, "S", 2, 0)
+	if strings.Contains(noPeer.String(), "->") {
+		t.Fatal("peerless event rendered a peer")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if MsgSend.String() != "send" || CacheEvict.String() != "evict" || Kind(99).String() != "?" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+// Property: the zero filter matches every event.
+func TestZeroFilterMatchesAll(t *testing.T) {
+	f := func(at int64, k uint8, blk uint64, node int8) bool {
+		tr := New(nil, Filter{})
+		before := tr.Len()
+		tr.Record(Event{At: at, Kind: Kind(int(k) % int(nKinds)), Block: blk, Node: int(node), Peer: -1})
+		return tr.Len() == before+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package ccsim
+
+import (
+	"ccsim/internal/proc"
+)
+
+// OpKind enumerates the operations a custom workload stream may issue.
+type OpKind int
+
+const (
+	// Busy models local computation (and private references, which the
+	// methodology treats as first-level cache hits) for Cycles pclocks.
+	Busy OpKind = iota
+	// Read is a shared-data load; the processor blocks until the data
+	// reaches its first-level cache.
+	Read
+	// Write is a shared-data store; under release consistency it is
+	// buffered, under sequential consistency the processor stalls until it
+	// is globally performed.
+	Write
+	// Acquire obtains the queue-based lock whose variable lives at Addr.
+	Acquire
+	// Release releases that lock (after all earlier writes have performed).
+	Release
+	// Barrier joins the machine-wide barrier identified by Bar; every
+	// processor must arrive at the same barriers in the same order.
+	Barrier
+	// StatsOn starts the measured section; every stream must emit it
+	// exactly once, before its other operations.
+	StatsOn
+)
+
+// Op is one operation of a custom workload.
+type Op struct {
+	Kind   OpKind
+	Addr   uint64 // byte address for Read/Write/Acquire/Release
+	Cycles int64  // duration for Busy
+	Bar    int    // barrier identity for Barrier
+}
+
+// Stream produces one processor's operations. Next is called again only
+// after the previous operation completed in simulated time, so generators
+// may depend on simulation progress.
+type Stream interface {
+	Next() (Op, bool)
+}
+
+// Ops returns a Stream replaying a fixed operation slice.
+func Ops(ops ...Op) Stream { return &sliceStream{ops: ops} }
+
+type sliceStream struct {
+	ops []Op
+	i   int
+}
+
+func (s *sliceStream) Next() (Op, bool) {
+	if s.i >= len(s.ops) {
+		return Op{}, false
+	}
+	op := s.ops[s.i]
+	s.i++
+	return op, true
+}
+
+var kindMap = map[OpKind]proc.OpKind{
+	Busy: proc.OpBusy, Read: proc.OpRead, Write: proc.OpWrite,
+	Acquire: proc.OpAcquire, Release: proc.OpRelease,
+	Barrier: proc.OpBarrier, StatsOn: proc.OpStatsOn,
+}
+
+var kindUnmap = map[proc.OpKind]OpKind{
+	proc.OpBusy: Busy, proc.OpRead: Read, proc.OpWrite: Write,
+	proc.OpAcquire: Acquire, proc.OpRelease: Release,
+	proc.OpBarrier: Barrier, proc.OpStatsOn: StatsOn,
+}
+
+// streamAdapter converts the public Stream to the internal one.
+type streamAdapter struct{ s Stream }
+
+func (a *streamAdapter) Next() (proc.Op, bool) {
+	op, ok := a.s.Next()
+	if !ok {
+		return proc.Op{}, false
+	}
+	return proc.Op{
+		Kind:   kindMap[op.Kind],
+		Addr:   memAddr(op.Addr),
+		Cycles: op.Cycles,
+		Bar:    op.Bar,
+	}, true
+}
