@@ -1,0 +1,11 @@
+.PHONY: verify test bench
+
+# Tier-1 gate: build + vet + full tests + race pass on sim and telemetry.
+verify:
+	sh verify.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem

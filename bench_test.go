@@ -323,3 +323,39 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(pclocks)/b.Elapsed().Seconds(), "pclocks/s")
 }
+
+// BenchmarkTelemetryOverhead compares the same P+CW run with telemetry off
+// (the default) and on, so the instrumentation's cost stays visible.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOne(b, func(cfg *ccsim.Config) {
+				cfg.Extensions = ccsim.Ext{P: true, CW: true}
+			})
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOne(b, func(cfg *ccsim.Config) {
+				cfg.Extensions = ccsim.Ext{P: true, CW: true}
+				cfg.Telemetry = ccsim.NewTelemetry()
+			})
+		}
+	})
+}
+
+// TestTelemetryDisabledAddsNoAllocs pins down the disabled path's cost: with
+// no collector attached, every telemetry hook the simulator calls is a nil
+// no-op that allocates nothing.
+func TestTelemetryDisabledAddsNoAllocs(t *testing.T) {
+	var tl *ccsim.Telemetry
+	if n := testing.AllocsPerRun(100, func() {
+		txn := tl.Begin(0, 0, 0, 0)
+		tl.Mark(txn, 0, 10)
+		tl.End(txn, 20)
+		tl.StallInterval(0, "read", 0, 10)
+		tl.RecordInstant(0, "grant", 0, 10)
+	}); n != 0 {
+		t.Fatalf("nil telemetry collector allocates %v times per run, want 0", n)
+	}
+}

@@ -112,6 +112,11 @@ type Config struct {
 	// TraceBlocks restricts the trace to the blocks containing these byte
 	// addresses (empty = all blocks).
 	TraceBlocks []uint64
+
+	// Telemetry, when non-nil, collects transaction spans, stall intervals
+	// and utilization samples during the run (see NewTelemetry). Leave nil
+	// for zero overhead.
+	Telemetry *Telemetry
 }
 
 // DefaultConfig returns the paper's baseline: 16 processors, BASIC protocol
@@ -156,7 +161,7 @@ func (c Config) coreParams() core.Params {
 }
 
 func (c Config) machineConfig() machine.Config {
-	mc := machine.Config{Core: c.coreParams(), LinkBits: c.LinkBits}
+	mc := machine.Config{Core: c.coreParams(), LinkBits: c.LinkBits, Tele: c.Telemetry}
 	if c.Net == Mesh {
 		mc.Net = machine.NetMesh
 	}

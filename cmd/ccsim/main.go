@@ -12,9 +12,12 @@
 //	ccsim -workload mp3d -trace - -traceaddrs 0  # protocol trace for one block
 //	ccsim -workload lu -dump lu.trace            # export the kernel as a trace file
 //	ccsim -in lu.trace -ext P                    # replay a trace file
+//	ccsim -workload mp3d -json                   # machine-readable result
+//	ccsim -workload mp3d -timeline t.json        # Perfetto/Chrome trace timeline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -59,6 +62,8 @@ func main() {
 	verify := flag.Bool("verify", false, "check the data-value invariant of coherence during the run")
 	traceOut := flag.String("trace", "", "stream a protocol trace to this file (\"-\" = stderr)")
 	traceAddrs := flag.String("traceaddrs", "", "comma-separated byte addresses restricting the trace")
+	jsonOut := flag.Bool("json", false, "print the full result as JSON instead of the text report")
+	timeline := flag.String("timeline", "", "write a Perfetto/Chrome trace-event timeline to this file")
 	flag.Parse()
 
 	cfg := ccsim.DefaultConfig()
@@ -86,6 +91,9 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Extensions = e
+	if *timeline != "" {
+		cfg.Telemetry = ccsim.NewTelemetry()
+	}
 
 	if *traceOut != "" {
 		w := os.Stderr
@@ -158,6 +166,32 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *timeline != "" {
+		f, ferr := os.Create(*timeline)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		if werr := cfg.Telemetry.WriteTimeline(f); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if jerr := enc.Encode(r); jerr != nil {
+			fmt.Fprintln(os.Stderr, jerr)
+			os.Exit(1)
+		}
+		return
+	}
+
 	n := float64(r.Procs)
 	fmt.Printf("workload    %s (scale %g)\n", r.Workload, cfg.Scale)
 	fmt.Printf("protocol    %s on %s, %d processors\n", r.Protocol, r.Network, r.Procs)
@@ -171,8 +205,8 @@ func main() {
 	fmt.Printf("references  %d reads, %d writes\n", r.Reads, r.Writes)
 	fmt.Printf("miss rates  cold %.2f%%  coherence %.2f%%  replacement %.2f%%\n",
 		r.ColdMissRate(), r.CoherenceMissRate(), r.ReplacementMissRate())
-	fmt.Printf("miss lat.   %.0f pclocks average demand read miss (P50 <= %d, P95 <= %d)\n",
-		r.AvgReadMissLatency, r.MissLatencyP50, r.MissLatencyP95)
+	fmt.Printf("miss lat.   %.0f pclocks average demand read miss (P50 <= %d, P95 <= %d, P99 <= %d, max %d)\n",
+		r.AvgReadMissLatency, r.MissLatencyP50, r.MissLatencyP95, r.MissLatencyP99, r.MissLatencyMax)
 	fmt.Printf("traffic     %d bytes in %d messages (updates %d B, data %d B)\n",
 		r.TrafficBytes, r.TrafficMsgs, r.UpdateBytes, r.DataBytes)
 	if e.P {

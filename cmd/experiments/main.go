@@ -15,6 +15,7 @@
 //	experiments -exp sens-buffers   # §5.4: 4-entry write buffers
 //	experiments -exp sens-cache     # §5.4: 16-KB SLC
 //	experiments -scale 0.25 ...     # shrink the workloads for a quick pass
+//	experiments -metrics out/ ...   # also write each run's result as JSON
 package main
 
 import (
@@ -30,9 +31,10 @@ func main() {
 	which := flag.String("exp", "all", "experiment: all, table1, fig2, table2, fig3, table3, fig4, sens-buffers, sens-cache, dir, assoc, scaling, cost")
 	scale := flag.Float64("scale", 1.0, "workload problem-size multiplier")
 	procs := flag.Int("procs", 16, "processor count")
+	metrics := flag.String("metrics", "", "write each run's full result as JSON into this directory")
 	flag.Parse()
 
-	o := exp.Options{Scale: *scale, Procs: *procs}
+	o := exp.Options{Scale: *scale, Procs: *procs, MetricsDir: *metrics}
 	run := func(name string, fn func() error) {
 		t0 := time.Now()
 		fmt.Printf("==== %s (scale %g, %d processors) ====\n", name, o.Scale, o.Procs)

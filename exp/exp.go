@@ -6,8 +6,11 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"text/tabwriter"
 
 	"ccsim"
@@ -38,6 +41,13 @@ func Combos() []Combo {
 type Options struct {
 	Scale float64 // workload problem-size multiplier (1.0 = default)
 	Procs int     // processors (paper: 16)
+
+	// MetricsDir, when non-empty, makes every simulation in a sweep write
+	// its full Result as an indented JSON file into this directory (created
+	// on first use). Filenames encode the workload, protocol, network and
+	// any non-default machine parameters, so distinct configurations never
+	// collide.
+	MetricsDir string
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -49,6 +59,62 @@ func (o Options) config(wl string) ccsim.Config {
 	cfg.Scale = o.Scale
 	cfg.Procs = o.Procs
 	return cfg
+}
+
+// run executes one simulation, writing its metrics file when MetricsDir is
+// set.
+func (o Options) run(cfg ccsim.Config) (*ccsim.Result, error) {
+	r, err := ccsim.Run(cfg)
+	if err != nil || o.MetricsDir == "" {
+		return r, err
+	}
+	if werr := writeMetrics(o.MetricsDir, cfg, r); werr != nil {
+		return nil, werr
+	}
+	return r, nil
+}
+
+// metricsName builds a collision-safe filename for one run's metrics: every
+// configuration axis a sweep varies appears in the name.
+func metricsName(cfg ccsim.Config) string {
+	name := fmt.Sprintf("%s_%s", cfg.Workload, cfg.ProtocolName())
+	if cfg.Net == ccsim.Mesh {
+		name += fmt.Sprintf("_mesh%d", cfg.LinkBits)
+	}
+	name += fmt.Sprintf("_p%d", cfg.Procs)
+	if cfg.SLCBlocks > 0 {
+		name += fmt.Sprintf("_slc%d", cfg.SLCBlocks)
+	}
+	if cfg.SLCWays > 1 {
+		name += fmt.Sprintf("_w%d", cfg.SLCWays)
+	}
+	if cfg.FLWBEntries > 0 || cfg.SLWBEntries > 0 {
+		name += fmt.Sprintf("_wb%d-%d", cfg.FLWBEntries, cfg.SLWBEntries)
+	}
+	if cfg.DirPointers > 0 {
+		name += fmt.Sprintf("_dir%d", cfg.DirPointers)
+	}
+	if cfg.Scale != 1.0 {
+		name += fmt.Sprintf("_x%g", cfg.Scale)
+	}
+	return name + ".json"
+}
+
+func writeMetrics(dir string, cfg ccsim.Config, r *ccsim.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, metricsName(cfg)))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Fig2Row is one bar of Figure 2: a protocol's execution time under RC
@@ -74,7 +140,7 @@ func Figure2(o Options) ([]Fig2Row, error) {
 		for _, c := range Combos() {
 			cfg := o.config(wl)
 			cfg.Extensions = c.Ext
-			r, err := ccsim.Run(cfg)
+			r, err := o.run(cfg)
 			if err != nil {
 				return nil, fmt.Errorf("fig2 %s/%s: %w", wl, c.Name, err)
 			}
@@ -136,7 +202,7 @@ func Table2(o Options) ([]Table2Row, error) {
 		for _, name := range Table2Protocols {
 			cfg := o.config(wl)
 			cfg.Extensions = combos[name]
-			r, err := ccsim.Run(cfg)
+			r, err := o.run(cfg)
 			if err != nil {
 				return nil, fmt.Errorf("table2 %s/%s: %w", wl, name, err)
 			}
@@ -197,7 +263,7 @@ func Figure3(o Options) ([]Fig3Row, error) {
 	var rows []Fig3Row
 	for _, wl := range ccsim.Workloads() {
 		rcCfg := o.config(wl)
-		basicRC, err := ccsim.Run(rcCfg)
+		basicRC, err := o.run(rcCfg)
 		if err != nil {
 			return nil, fmt.Errorf("fig3 %s/BASIC-RC: %w", wl, err)
 		}
@@ -206,7 +272,7 @@ func Figure3(o Options) ([]Fig3Row, error) {
 			cfg := o.config(wl)
 			cfg.Extensions = c.Ext
 			cfg.SC = true
-			r, err := ccsim.Run(cfg)
+			r, err := o.run(cfg)
 			if err != nil {
 				return nil, fmt.Errorf("fig3 %s/%s: %w", wl, c.Name, err)
 			}
@@ -271,7 +337,7 @@ func Table3(o Options) ([]Table3Row, error) {
 				cfg.Extensions = e
 				cfg.Net = ccsim.Mesh
 				cfg.LinkBits = bits
-				return ccsim.Run(cfg)
+				return o.run(cfg)
 			}
 			base, err := run(ccsim.Ext{})
 			if err != nil {
@@ -345,7 +411,7 @@ func Figure4(o Options) ([]Fig4Row, error) {
 		for _, c := range Figure4Protocols {
 			cfg := o.config(wl)
 			cfg.Extensions = c.Ext
-			r, err := ccsim.Run(cfg)
+			r, err := o.run(cfg)
 			if err != nil {
 				return nil, fmt.Errorf("fig4 %s/%s: %w", wl, c.Name, err)
 			}

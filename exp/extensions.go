@@ -41,7 +41,7 @@ func DirectoryStudy(o Options) ([]DirRow, error) {
 				cfg := o.config(wl)
 				cfg.Extensions = e
 				cfg.DirPointers = ptrs
-				return ccsim.Run(cfg)
+				return o.run(cfg)
 			}
 			basic, err := run(ccsim.Ext{})
 			if err != nil {
@@ -113,7 +113,7 @@ func AssociativityStudy(o Options) ([]AssocRow, error) {
 				cfg.Extensions = e
 				cfg.SLCBlocks = 512 // 16 KB
 				cfg.SLCWays = ways
-				return ccsim.Run(cfg)
+				return o.run(cfg)
 			}
 			basic, err := run(ccsim.Ext{})
 			if err != nil {
@@ -180,7 +180,7 @@ func ScalingStudy(o Options) ([]ScaleRow, error) {
 				cfg := o.config(wl)
 				cfg.Procs = procs
 				cfg.Extensions = e
-				return ccsim.Run(cfg)
+				return o.run(cfg)
 			}
 			basic, err := run(ccsim.Ext{})
 			if err != nil {
@@ -239,7 +239,7 @@ type CostRow struct {
 func CostPerformance(o Options, workloadName string) ([]CostRow, error) {
 	const slcFrames, memBlocks = 512, 1 << 15
 	baseCfg := o.config(workloadName)
-	base, err := ccsim.Run(baseCfg)
+	base, err := o.run(baseCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +248,7 @@ func CostPerformance(o Options, workloadName string) ([]CostRow, error) {
 	for _, c := range Combos() {
 		cfg := o.config(workloadName)
 		cfg.Extensions = c.Ext
-		r, err := ccsim.Run(cfg)
+		r, err := o.run(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("cost %s/%s: %w", workloadName, c.Name, err)
 		}

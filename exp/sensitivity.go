@@ -44,14 +44,14 @@ func sensitivity(o Options, constrain func(*ccsim.Config)) ([]SensRow, error) {
 		for _, c := range Combos() {
 			defCfg := o.config(wl)
 			defCfg.Extensions = c.Ext
-			def, err := ccsim.Run(defCfg)
+			def, err := o.run(defCfg)
 			if err != nil {
 				return nil, fmt.Errorf("sens %s/%s default: %w", wl, c.Name, err)
 			}
 			limCfg := o.config(wl)
 			limCfg.Extensions = c.Ext
 			constrain(&limCfg)
-			lim, err := ccsim.Run(limCfg)
+			lim, err := o.run(limCfg)
 			if err != nil {
 				return nil, fmt.Errorf("sens %s/%s limited: %w", wl, c.Name, err)
 			}

@@ -7,6 +7,7 @@ import (
 	"ccsim/internal/memsys"
 	"ccsim/internal/sim"
 	"ccsim/internal/stats"
+	"ccsim/internal/telemetry"
 	"ccsim/internal/trace"
 )
 
@@ -28,6 +29,7 @@ type mshr struct {
 	kind         mshrKind
 	prefetchOnly bool // a prefetch no demand reference has merged with yet
 	countsSLWB   bool
+	txn          uint64 // telemetry span of this transaction (0 = untracked)
 
 	readers   []readerWait    // demand readers to unblock at fill
 	performed []func()        // write-performed callbacks (sequential consistency)
@@ -82,7 +84,7 @@ type CacheStats struct {
 	PartialHits     uint64 // demand misses merged with a pending prefetch
 	ReadMissLatency int64  // summed demand-miss service time (pclocks)
 	ReadMissCount   uint64
-	LatencyHist     stats.LatencyHist // distribution of demand-miss service times
+	LatencyHist     stats.Hist // distribution of demand-miss service times
 }
 
 // CacheCtl is the second-level cache controller of one node: the
@@ -216,6 +218,29 @@ func (c *CacheCtl) send(m *Msg) {
 
 func (c *CacheCtl) statsOn() bool { return c.sys.statsOn }
 
+// SLCResource exposes the SLC's occupancy model for utilization sampling.
+func (c *CacheCtl) SLCResource() *sim.Resource { return c.slcRes }
+
+// PendingTxns returns the number of outstanding coherence transactions
+// (occupied MSHR entries), an outstanding-miss gauge for the sampler.
+func (c *CacheCtl) PendingTxns() int { return len(c.mshrs) }
+
+// beginSpan opens a telemetry span for a transaction launched now. Spans are
+// gated like every other measurement: only the parallel section records.
+func (c *CacheCtl) beginSpan(b memsys.Block, kind telemetry.SpanKind) uint64 {
+	if c.sys.Tele == nil || !c.sys.statsOn {
+		return 0
+	}
+	return c.sys.Tele.Begin(c.id, uint64(b), kind, int64(c.sys.Eng.Now()))
+}
+
+// endSpan closes a transaction's span at the current instant.
+func (c *CacheCtl) endSpan(txn uint64) {
+	if txn != 0 {
+		c.sys.Tele.End(txn, int64(c.sys.Eng.Now()))
+	}
+}
+
 // observe checks the data-value invariant for a read of word w returning
 // version v: per processor and location, observed versions never decrease.
 func (c *CacheCtl) observe(b memsys.Block, w int, v int64) {
@@ -329,8 +354,9 @@ func (c *CacheCtl) readSLC(b memsys.Block, word int, unblock func()) {
 	}
 	c.missStart[b] = c.sys.Eng.Now()
 	ms := &mshr{kind: mshrRead, readers: []readerWait{{word, unblock}}}
+	ms.txn = c.beginSpan(b, telemetry.SpanRead)
 	c.mshrs[b] = ms
-	c.send(&Msg{Type: MsgReadReq, Block: b, Dst: c.sys.HomeOf(b)})
+	c.send(&Msg{Type: MsgReadReq, Block: b, Dst: c.sys.HomeOf(b), Txn: ms.txn})
 	if c.pf != nil {
 		c.pf.OnMiss(b)
 		c.issuePrefetches(b)
@@ -345,10 +371,12 @@ func (c *CacheCtl) issuePrefetches(b memsys.Block) {
 		if c.slwbUsed >= c.sys.P.SLWBEntries {
 			break
 		}
-		c.mshrs[nb] = &mshr{kind: mshrRead, prefetchOnly: true, countsSLWB: true}
+		ms := &mshr{kind: mshrRead, prefetchOnly: true, countsSLWB: true}
+		ms.txn = c.beginSpan(nb, telemetry.SpanPrefetch)
+		c.mshrs[nb] = ms
 		c.slwbUsed++
 		c.pf.OnIssue()
-		c.send(&Msg{Type: MsgReadReq, Block: nb, Dst: c.sys.HomeOf(nb), Prefetch: true})
+		c.send(&Msg{Type: MsgReadReq, Block: nb, Dst: c.sys.HomeOf(nb), Prefetch: true, Txn: ms.txn})
 	}
 }
 
@@ -465,12 +493,13 @@ func (c *CacheCtl) processWrite(w flwbWrite) bool {
 		return false
 	}
 	ms := &mshr{kind: mshrOwn, countsSLWB: true, nWrites: 1, obs: []int{w.ob}, words: []int{w.word}}
+	ms.txn = c.beginSpan(b, telemetry.SpanOwnership)
 	if w.performed != nil {
 		ms.performed = append(ms.performed, w.performed)
 	}
 	c.mshrs[b] = ms
 	c.slwbUsed++
-	c.send(&Msg{Type: MsgOwnReq, Block: b, Dst: c.sys.HomeOf(b)})
+	c.send(&Msg{Type: MsgOwnReq, Block: b, Dst: c.sys.HomeOf(b), Txn: ms.txn})
 	return true
 }
 
@@ -540,9 +569,11 @@ func (c *CacheCtl) doFlush(e cache.WCEntry, obs []int) {
 	}
 	// Release-time drains may transiently exceed the SLWB capacity; the
 	// processor is not waiting, so this only models a stalled drain.
-	c.mshrs[e.Block] = &mshr{kind: mshrUpdate, countsSLWB: true, obs: obs, mask: e.Mask}
+	ms := &mshr{kind: mshrUpdate, countsSLWB: true, obs: obs, mask: e.Mask}
+	ms.txn = c.beginSpan(e.Block, telemetry.SpanUpdate)
+	c.mshrs[e.Block] = ms
 	c.slwbUsed++
-	c.send(&Msg{Type: MsgUpdateReq, Block: e.Block, Dst: c.sys.HomeOf(e.Block), Mask: e.Mask})
+	c.send(&Msg{Type: MsgUpdateReq, Block: e.Block, Dst: c.sys.HomeOf(e.Block), Mask: e.Mask, Txn: ms.txn})
 }
 
 // pump retries work that was waiting for an SLWB slot or a fill.
@@ -744,6 +775,7 @@ func (c *CacheCtl) onReadReply(m *Msg) {
 	if ms.countsSLWB {
 		c.slwbUsed--
 	}
+	c.endSpan(ms.txn)
 	st := cache.Shared
 	if m.Excl {
 		st = cache.Dirty
@@ -811,6 +843,7 @@ func (c *CacheCtl) onOwnAck(m *Msg) {
 	delete(c.mshrs, b)
 	c.slwbUsed--
 	c.completeObs(ms.obs)
+	c.endSpan(ms.txn)
 	c.lastGrant[b] = m.Stamp
 	var line *cache.Line
 	if m.Data {
@@ -886,8 +919,12 @@ func (c *CacheCtl) relinquishLostOwnership(b memsys.Block, ms *mshr, stamp int) 
 		c.send(&Msg{Type: MsgWBReq, Block: b, Dst: c.sys.HomeOf(b), Data: true, Stamp: stamp, Payload: payload, Mask: mask})
 	}
 	if len(ms.readers) > 0 {
-		c.mshrs[b] = &mshr{kind: mshrRead, readers: ms.readers}
-		c.send(&Msg{Type: MsgReadReq, Block: b, Dst: c.sys.HomeOf(b)})
+		// The readers' wait continues under a fresh span: the old
+		// transaction is over, this is a new fetch.
+		ms2 := &mshr{kind: mshrRead, readers: ms.readers}
+		ms2.txn = c.beginSpan(b, telemetry.SpanRead)
+		c.mshrs[b] = ms2
+		c.send(&Msg{Type: MsgReadReq, Block: b, Dst: c.sys.HomeOf(b), Txn: ms2.txn})
 	}
 	c.runAfter(ms)
 	c.pump()
@@ -902,6 +939,7 @@ func (c *CacheCtl) onUpdateAck(m *Msg) {
 	delete(c.mshrs, b)
 	c.slwbUsed--
 	c.completeObs(ms.obs)
+	c.endSpan(ms.txn)
 	if m.Excl {
 		c.lastGrant[b] = m.Stamp
 		var line *cache.Line
@@ -943,8 +981,10 @@ func (c *CacheCtl) onUpdateAck(m *Msg) {
 		} else {
 			// The update completed without leaving us a copy; fetch one for
 			// the waiting readers.
-			c.mshrs[b] = &mshr{kind: mshrRead, readers: ms.readers}
-			c.send(&Msg{Type: MsgReadReq, Block: b, Dst: c.sys.HomeOf(b)})
+			ms2 := &mshr{kind: mshrRead, readers: ms.readers}
+			ms2.txn = c.beginSpan(b, telemetry.SpanRead)
+			c.mshrs[b] = ms2
+			c.send(&Msg{Type: MsgReadReq, Block: b, Dst: c.sys.HomeOf(b), Txn: ms2.txn})
 		}
 	}
 	c.runAfter(ms)
@@ -965,7 +1005,7 @@ func (c *CacheCtl) onFwd(m *Msg) {
 			// The line was victimized; serve the forward from the
 			// writeback buffer. The in-flight WBReq will be stale at home.
 			c.send(&Msg{Type: MsgFwdReply, Block: b, Dst: home, Data: true, Wrote: true,
-				Payload: c.wbData[b], Mask: c.wbMask[b]})
+				Payload: c.wbData[b], Mask: c.wbMask[b], Txn: m.Txn})
 			return
 		}
 		panic(fmt.Sprintf("cache %d: forward for absent block %d", c.id, b))
@@ -974,24 +1014,24 @@ func (c *CacheCtl) onFwd(m *Msg) {
 	case m.Excl:
 		// Exclusive takeaway (write miss elsewhere, or update recall).
 		c.removeLine(b)
-		c.send(&Msg{Type: MsgFwdReply, Block: b, Dst: home, Data: true, Wrote: true, Payload: line.Data})
+		c.send(&Msg{Type: MsgFwdReply, Block: b, Dst: home, Data: true, Wrote: true, Payload: line.Data, Txn: m.Txn})
 	case m.Mig:
 		// Migratory read: hand the block over if we wrote it; otherwise
 		// report that the pattern stopped being migratory and keep a
 		// shared copy.
 		if line.Written {
 			c.removeLine(b)
-			c.send(&Msg{Type: MsgFwdReply, Block: b, Dst: home, Data: true, Wrote: true, Payload: line.Data})
+			c.send(&Msg{Type: MsgFwdReply, Block: b, Dst: home, Data: true, Wrote: true, Payload: line.Data, Txn: m.Txn})
 		} else {
 			line.State = cache.Shared
 			line.MigSupplied = false
-			c.send(&Msg{Type: MsgFwdReply, Block: b, Dst: home, Data: true, Wrote: false, Payload: line.Data})
+			c.send(&Msg{Type: MsgFwdReply, Block: b, Dst: home, Data: true, Wrote: false, Payload: line.Data, Txn: m.Txn})
 		}
 	default:
 		// Ordinary read miss: downgrade to Shared.
 		line.State = cache.Shared
 		line.Written = false
-		c.send(&Msg{Type: MsgFwdReply, Block: b, Dst: home, Data: true, Wrote: true, Payload: line.Data})
+		c.send(&Msg{Type: MsgFwdReply, Block: b, Dst: home, Data: true, Wrote: true, Payload: line.Data, Txn: m.Txn})
 	}
 }
 
@@ -1043,14 +1083,16 @@ func (c *CacheCtl) onPrefNack(m *Msg) {
 	}
 	if !ms.prefetchOnly {
 		// A demand reference merged with the prefetch while the nack was in
-		// flight; reissue it as a demand read, which is never nacked.
-		c.send(&Msg{Type: MsgReadReq, Block: b, Dst: c.sys.HomeOf(b)})
+		// flight; reissue it as a demand read, which is never nacked. The
+		// span continues: it is still the same logical fetch.
+		c.send(&Msg{Type: MsgReadReq, Block: b, Dst: c.sys.HomeOf(b), Txn: ms.txn})
 		return
 	}
 	delete(c.mshrs, b)
 	if ms.countsSLWB {
 		c.slwbUsed--
 	}
+	c.endSpan(ms.txn)
 	if c.pf != nil {
 		c.pf.Stats.Nacked++
 	}

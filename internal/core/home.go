@@ -6,6 +6,7 @@ import (
 
 	"ccsim/internal/memsys"
 	"ccsim/internal/syncprim"
+	"ccsim/internal/telemetry"
 	"ccsim/internal/trace"
 )
 
@@ -215,7 +216,11 @@ func (h *HomeCtl) process(m *Msg, e *dirEntry) {
 	e.busy = true
 	e.txn = txMem
 	e.txnReq = m
+	// The request's queueing behind a busy entry ends here; the memory
+	// access it now performs ends at the handler below.
+	h.sys.tmark(m.Txn, telemetry.PhaseDirWait)
 	h.sys.Eng.After(h.sys.P.Timing.MemAccess, func() {
+		h.sys.tmark(m.Txn, telemetry.PhaseMemory)
 		switch m.Type {
 		case MsgReadReq:
 			h.readReq(m, e)
@@ -260,7 +265,7 @@ func (h *HomeCtl) readReq(m *Msg, e *dirEntry) {
 			// A speculative fetch would steal the block from its active
 			// writer; reject it. (Migratory blocks are the exception: the
 			// whole point of P+M is to prefetch them exclusively.)
-			h.send(&Msg{Type: MsgPrefNack, Block: b, Dst: m.Src})
+			h.send(&Msg{Type: MsgPrefNack, Block: b, Dst: m.Src, Txn: m.Txn})
 			h.finish(b, e)
 			return
 		}
@@ -268,7 +273,7 @@ func (h *HomeCtl) readReq(m *Msg, e *dirEntry) {
 		e.txn = txFwd
 		h.send(&Msg{
 			Type: MsgFwd, Block: b, Dst: e.owner,
-			Requester: m.Src, Mig: mig, Prefetch: m.Prefetch,
+			Requester: m.Src, Mig: mig, Prefetch: m.Prefetch, Txn: m.Txn,
 		})
 		return
 	}
@@ -281,12 +286,12 @@ func (h *HomeCtl) readReq(m *Msg, e *dirEntry) {
 		e.owner = m.Src
 		h.setPresence(e, bit(m.Src))
 		e.grants++
-		h.send(&Msg{Type: MsgReadReply, Block: b, Dst: m.Src, Data: true, Excl: true, Prefetch: m.Prefetch, Stamp: e.grants, Payload: e.data})
+		h.send(&Msg{Type: MsgReadReply, Block: b, Dst: m.Src, Data: true, Excl: true, Prefetch: m.Prefetch, Stamp: e.grants, Payload: e.data, Txn: m.Txn})
 		h.finish(b, e)
 		return
 	}
 	h.addSharer(e, m.Src)
-	h.send(&Msg{Type: MsgReadReply, Block: b, Dst: m.Src, Data: true, Prefetch: m.Prefetch, Payload: e.data})
+	h.send(&Msg{Type: MsgReadReply, Block: b, Dst: m.Src, Data: true, Prefetch: m.Prefetch, Payload: e.data, Txn: m.Txn})
 	h.finish(b, e)
 }
 
@@ -307,6 +312,7 @@ func (h *HomeCtl) onFwdReply(m *Msg) {
 	}
 	// Write the returned data back to memory.
 	h.sys.Eng.After(h.sys.P.Timing.MemAccess, func() {
+		h.sys.tmark(req.Txn, telemetry.PhaseMemory)
 		switch {
 		case e.txn == txRecall:
 			// Recalled to serve a competitive update: apply the update and
@@ -317,14 +323,14 @@ func (h *HomeCtl) onFwdReply(m *Msg) {
 			e.lastWriter = req.Src
 			e.grants++
 			h.applyUpdate(e, req)
-			h.send(&Msg{Type: MsgUpdateAck, Block: b, Dst: req.Src, Data: true, Excl: true, Stamp: e.grants, Payload: e.data})
+			h.send(&Msg{Type: MsgUpdateAck, Block: b, Dst: req.Src, Data: true, Excl: true, Stamp: e.grants, Payload: e.data, Txn: req.Txn})
 		case req.Type == MsgOwnReq:
 			// Write miss to a dirty block: exclusive handoff.
 			e.owner = req.Src
 			h.setPresence(e, bit(req.Src))
 			e.lastWriter = req.Src
 			e.grants++
-			h.send(&Msg{Type: MsgOwnAck, Block: b, Dst: req.Src, Data: true, Stamp: e.grants, Payload: e.data})
+			h.send(&Msg{Type: MsgOwnAck, Block: b, Dst: req.Src, Data: true, Stamp: e.grants, Payload: e.data, Txn: req.Txn})
 		case req.Type == MsgReadReq && e.migratory && h.sys.P.M:
 			if m.Wrote {
 				// Still migratory: pass the exclusive copy along.
@@ -333,7 +339,7 @@ func (h *HomeCtl) onFwdReply(m *Msg) {
 				h.setPresence(e, bit(req.Src))
 				e.lastWriter = req.Src
 				e.grants++
-				h.send(&Msg{Type: MsgReadReply, Block: b, Dst: req.Src, Data: true, Excl: true, Prefetch: req.Prefetch, Stamp: e.grants, Payload: e.data})
+				h.send(&Msg{Type: MsgReadReply, Block: b, Dst: req.Src, Data: true, Excl: true, Prefetch: req.Prefetch, Stamp: e.grants, Payload: e.data, Txn: req.Txn})
 			} else {
 				// The holder never wrote its exclusive copy: the pattern is
 				// no longer migratory. Revert to ordinary sharing (the
@@ -343,14 +349,14 @@ func (h *HomeCtl) onFwdReply(m *Msg) {
 				e.migratory = false
 				e.state = dirClean
 				h.setPresence(e, bit(m.Src)|bit(req.Src))
-				h.send(&Msg{Type: MsgReadReply, Block: b, Dst: req.Src, Data: true, Prefetch: req.Prefetch, Payload: e.data})
+				h.send(&Msg{Type: MsgReadReply, Block: b, Dst: req.Src, Data: true, Prefetch: req.Prefetch, Payload: e.data, Txn: req.Txn})
 			}
 		default:
 			// Ordinary read miss to a dirty block: owner downgraded to
 			// Shared, memory updated, requester added.
 			e.state = dirClean
 			h.addSharer(e, req.Src)
-			h.send(&Msg{Type: MsgReadReply, Block: b, Dst: req.Src, Data: true, Prefetch: req.Prefetch, Payload: e.data})
+			h.send(&Msg{Type: MsgReadReply, Block: b, Dst: req.Src, Data: true, Prefetch: req.Prefetch, Payload: e.data, Txn: req.Txn})
 		}
 		h.finish(b, e)
 	})
@@ -364,7 +370,7 @@ func (h *HomeCtl) ownReq(m *Msg, e *dirEntry) {
 	if e.state == dirModified {
 		// Dirty elsewhere: take the copy away from the owner.
 		e.txn = txFwd
-		h.send(&Msg{Type: MsgFwd, Block: b, Dst: e.owner, Requester: m.Src, Excl: true})
+		h.send(&Msg{Type: MsgFwd, Block: b, Dst: e.owner, Requester: m.Src, Excl: true, Txn: m.Txn})
 		return
 	}
 	// Migratory detection (paper §3.2, following Stenström et al.): an
@@ -405,6 +411,8 @@ func (h *HomeCtl) onInvAck(m *Msg) {
 	e.presence &^= bit(m.Src)
 	e.acksLeft--
 	if e.acksLeft == 0 {
+		// The invalidation fan-out round trip ends with the last ack.
+		h.sys.tmark(e.txnReq.Txn, telemetry.PhaseGather)
 		h.grantOwnership(b, e, e.txnReq.Src)
 	}
 }
@@ -416,7 +424,7 @@ func (h *HomeCtl) grantOwnership(b memsys.Block, e *dirEntry, to int) {
 	h.setPresence(e, bit(to))
 	e.lastWriter = to
 	e.grants++
-	h.send(&Msg{Type: MsgOwnAck, Block: b, Dst: to, Data: e.needData, Stamp: e.grants, Payload: e.data})
+	h.send(&Msg{Type: MsgOwnAck, Block: b, Dst: to, Data: e.needData, Stamp: e.grants, Payload: e.data, Txn: e.txnReq.Txn})
 	h.finish(b, e)
 }
 
@@ -430,7 +438,7 @@ func (h *HomeCtl) updateReq(m *Msg, e *dirEntry) {
 			// The updater became the exclusive owner while these writes
 			// were still combining in its write cache; its dirty line
 			// already holds them, so just acknowledge.
-			h.send(&Msg{Type: MsgUpdateAck, Block: b, Dst: m.Src, Excl: true, Stamp: e.grants})
+			h.send(&Msg{Type: MsgUpdateAck, Block: b, Dst: m.Src, Excl: true, Stamp: e.grants, Txn: m.Txn})
 			h.finish(b, e)
 			return
 		}
@@ -438,7 +446,7 @@ func (h *HomeCtl) updateReq(m *Msg, e *dirEntry) {
 		// CW+M) while this updater still had combined writes buffered:
 		// recall the owner's copy, then hand the block to the updater.
 		e.txn = txRecall
-		h.send(&Msg{Type: MsgFwd, Block: b, Dst: e.owner, Requester: m.Src, Excl: true})
+		h.send(&Msg{Type: MsgFwd, Block: b, Dst: e.owner, Requester: m.Src, Excl: true, Txn: m.Txn})
 		return
 	}
 	h.applyUpdate(e, m)
@@ -459,7 +467,7 @@ func (h *HomeCtl) updateReq(m *Msg, e *dirEntry) {
 		h.setPresence(e, bit(m.Src))
 		e.lastWriter = m.Src
 		e.grants++
-		h.send(&Msg{Type: MsgUpdateAck, Block: b, Dst: m.Src, Data: e.needData, Excl: true, Stamp: e.grants, Payload: e.data})
+		h.send(&Msg{Type: MsgUpdateAck, Block: b, Dst: m.Src, Data: e.needData, Excl: true, Stamp: e.grants, Payload: e.data, Txn: m.Txn})
 		h.finish(b, e)
 		return
 	}
@@ -491,6 +499,8 @@ func (h *HomeCtl) onUpdAck(m *Msg) {
 		return
 	}
 	req := e.txnReq
+	// The update fan-out round trip ends with the last sharer's ack.
+	h.sys.tmark(req.Txn, telemetry.PhaseGather)
 	if e.probing && e.gaveUp {
 		e.migratory = true
 		h.MigratoryDetections++
@@ -502,12 +512,12 @@ func (h *HomeCtl) onUpdAck(m *Msg) {
 		h.setPresence(e, bit(req.Src))
 		e.lastWriter = req.Src
 		e.grants++
-		h.send(&Msg{Type: MsgUpdateAck, Block: b, Dst: req.Src, Data: e.needData, Excl: true, Stamp: e.grants, Payload: e.data})
+		h.send(&Msg{Type: MsgUpdateAck, Block: b, Dst: req.Src, Data: e.needData, Excl: true, Stamp: e.grants, Payload: e.data, Txn: req.Txn})
 	} else {
 		// The updater keeps a Shared copy (if it has one); the ack carries
 		// the post-update memory image so that copy reflects its own writes'
 		// serialized versions.
-		h.send(&Msg{Type: MsgUpdateAck, Block: b, Dst: req.Src, Payload: e.data})
+		h.send(&Msg{Type: MsgUpdateAck, Block: b, Dst: req.Src, Payload: e.data, Txn: req.Txn})
 	}
 	h.finish(b, e)
 }

@@ -68,6 +68,7 @@ type Msg struct {
 	Dst   int // receiving node
 
 	Requester int              // original requester, for forwarded messages
+	Txn       uint64           // telemetry span this message belongs to (0 = untracked)
 	Stamp     int              // home bookkeeping: grant generation at arrival
 	Payload   memsys.BlockData // word versions, when data verification is on
 	Mask      memsys.WordMask  // dirty words, for updates

@@ -7,6 +7,7 @@ import (
 	"ccsim/internal/network"
 	"ccsim/internal/sim"
 	"ccsim/internal/stats"
+	"ccsim/internal/telemetry"
 	"ccsim/internal/trace"
 )
 
@@ -31,6 +32,10 @@ type System struct {
 	// Tracer, when non-nil, receives protocol events (message sends and
 	// deliveries, directory transitions, cache fills and evictions).
 	Tracer *trace.Tracer
+
+	// Tele, when non-nil, collects transaction spans, stall intervals and
+	// utilization samples. A nil collector is a no-op on every path.
+	Tele *telemetry.Collector
 
 	// Data-value verification state (Params.VerifyData): a per-word version
 	// counter per block, advanced at each write's global serialization
@@ -77,9 +82,20 @@ func (s *System) traceMsg(k trace.Kind, m *Msg) {
 	})
 }
 
+// tmark timestamps the end of a telemetry phase on transaction txn at the
+// current instant.
+func (s *System) tmark(txn uint64, ph telemetry.Phase) {
+	if txn != 0 && s.Tele != nil {
+		s.Tele.Mark(txn, ph, int64(s.Eng.Now()))
+	}
+}
+
 // traceNode records a node-local event (directory transition, fill,
 // eviction) if tracing is enabled.
 func (s *System) traceNode(k trace.Kind, what string, b memsys.Block, node int, note string) {
+	if k == trace.DirTransition && s.Tele != nil && s.statsOn {
+		s.Tele.RecordInstant(node, what, uint64(b), int64(s.Eng.Now()))
+	}
 	if s.Tracer == nil {
 		return
 	}
@@ -158,8 +174,33 @@ func (s *System) Send(m *Msg) {
 	})
 }
 
+// arrivalPhase maps a delivered message to the span phase ending at its
+// arrival: requests end the requester-to-home transit, forwards the
+// home-to-owner transit, forward replies the owner leg, and replies the
+// home-to-requester transit. Fan-out messages (Inv/UpdCopy and their acks)
+// carry no transaction — their round trip is marked as PhaseGather at the
+// home when the last ack arrives.
+func arrivalPhase(t MsgType) (telemetry.Phase, bool) {
+	switch t {
+	case MsgReadReq, MsgOwnReq, MsgUpdateReq:
+		return telemetry.PhaseRequest, true
+	case MsgFwd:
+		return telemetry.PhaseForward, true
+	case MsgFwdReply:
+		return telemetry.PhaseOwner, true
+	case MsgReadReply, MsgOwnAck, MsgUpdateAck, MsgPrefNack:
+		return telemetry.PhaseReply, true
+	}
+	return 0, false
+}
+
 func (s *System) dispatch(m *Msg) {
 	s.traceMsg(trace.MsgDeliver, m)
+	if m.Txn != 0 && s.Tele != nil {
+		if ph, ok := arrivalPhase(m.Type); ok {
+			s.Tele.Mark(m.Txn, ph, int64(s.Eng.Now()))
+		}
+	}
 	if m.toHome() {
 		s.Nodes[m.Dst].Home.Handle(m)
 	} else {

@@ -11,6 +11,7 @@ import (
 	"ccsim/internal/proc"
 	"ccsim/internal/sim"
 	"ccsim/internal/stats"
+	"ccsim/internal/telemetry"
 	"ccsim/internal/trace"
 )
 
@@ -36,6 +37,10 @@ type Config struct {
 
 	// Tracer, when non-nil, receives protocol events.
 	Tracer *trace.Tracer
+
+	// Tele, when non-nil, collects transaction spans, processor stall
+	// intervals and periodic utilization samples for the run.
+	Tele *telemetry.Collector
 }
 
 // DefaultConfig returns the paper's baseline machine (BASIC, RC, uniform
@@ -87,6 +92,7 @@ func New(cfg Config, streams []proc.Stream) (*Machine, error) {
 		return nil, err
 	}
 	sys.Tracer = cfg.Tracer
+	sys.Tele = cfg.Tele
 	m := &Machine{Cfg: cfg, Eng: eng, Sys: sys, Net: net}
 	// Measurement starts at the workloads' StatsOn marker.
 	sys.SetStatsEnabled(false)
@@ -99,7 +105,26 @@ func New(cfg Config, streams []proc.Stream) (*Machine, error) {
 		})
 		p.StatsOnHook = m.onStatsOn
 		p.DoneHook = func() { m.doneCount++ }
+		p.Tele = cfg.Tele
 		m.Procs = append(m.Procs, p)
+	}
+	if cfg.Tele != nil {
+		for _, n := range sys.Nodes {
+			cfg.Tele.WatchResource("bus", n.ID, n.Bus)
+			cfg.Tele.WatchResource("slc", n.ID, n.Cache.SLCResource())
+			cache := n.Cache
+			cfg.Tele.WatchGauge("mshrs", n.ID, func() int64 {
+				return int64(cache.PendingTxns())
+			})
+		}
+		if mesh, ok := net.(*network.Mesh); ok {
+			cfg.Tele.WatchGauge("mesh-msgs", -1, func() int64 {
+				return int64(mesh.Msgs())
+			})
+			cfg.Tele.WatchGauge("mesh-wait", -1, func() int64 {
+				return int64(mesh.WaitTime())
+			})
+		}
 	}
 	return m, nil
 }
@@ -122,6 +147,9 @@ func (m *Machine) onStatsOn() {
 func (m *Machine) Run() (*Result, error) {
 	for _, p := range m.Procs {
 		p.Start()
+	}
+	if m.Cfg.Tele != nil {
+		m.Cfg.Tele.StartSampler(m.Eng)
 	}
 	if m.Cfg.MaxTime > 0 {
 		m.Eng.RunWhile(func() bool { return m.Eng.Now() <= m.Cfg.MaxTime })
@@ -153,10 +181,26 @@ func (m *Machine) Run() (*Result, error) {
 
 func (m *Machine) collect() *Result {
 	r := &Result{
-		Protocol: m.Cfg.Core.ProtocolName(),
-		Network:  m.Net.Name(),
-		Nodes:    m.Cfg.Core.Nodes,
-		Traffic:  m.Sys.Traffic,
+		Protocol:     m.Cfg.Core.ProtocolName(),
+		Network:      m.Net.Name(),
+		Nodes:        m.Cfg.Core.Nodes,
+		Traffic:      m.Sys.Traffic,
+		TotalPclocks: int64(m.Eng.Now()),
+	}
+	for _, n := range m.Sys.Nodes {
+		for _, w := range []struct {
+			name string
+			res  *sim.Resource
+		}{{"bus", n.Bus}, {"slc", n.Cache.SLCResource()}} {
+			r.Resources = append(r.Resources, ResourceUtil{
+				Name:          w.name,
+				Node:          n.ID,
+				Busy:          int64(w.res.BusyTime()),
+				Wait:          int64(w.res.WaitTime()),
+				Uses:          w.res.Uses(),
+				MaxQueueDepth: w.res.MaxQueueDepth(),
+			})
+		}
 	}
 	var lastDone sim.Time
 	for _, p := range m.Procs {
@@ -206,6 +250,16 @@ func (m *Machine) collect() *Result {
 	return r
 }
 
+// ResourceUtil summarizes one contended resource's lifetime occupancy.
+type ResourceUtil struct {
+	Name          string
+	Node          int
+	Busy          int64 // total pclocks the resource was occupied
+	Wait          int64 // total pclocks requests waited for it
+	Uses          uint64
+	MaxQueueDepth int // peak simultaneous reservations
+}
+
 // Result holds everything a run produces.
 type Result struct {
 	Protocol string
@@ -215,6 +269,13 @@ type Result struct {
 	// ExecTime is the measured parallel-section duration in pclocks (from
 	// the StatsOn marker to the last processor's completion).
 	ExecTime int64
+
+	// TotalPclocks is the full run duration, including the unmeasured
+	// initialization phase — the denominator for resource utilization.
+	TotalPclocks int64
+
+	// Resources reports each node's bus and SLC occupancy over the run.
+	Resources []ResourceUtil
 
 	// Summed per-processor time decomposition. BarrierStall is folded into
 	// acquire stall in paper-style reports.

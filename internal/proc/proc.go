@@ -9,6 +9,7 @@ import (
 	"ccsim/internal/memsys"
 	"ccsim/internal/sim"
 	"ccsim/internal/stats"
+	"ccsim/internal/telemetry"
 )
 
 // OpKind enumerates workload operations.
@@ -89,6 +90,10 @@ type Processor struct {
 	// machine to start the measured region globally).
 	StatsOnHook func()
 
+	// Tele, when non-nil, receives the processor's stall intervals (nil is
+	// a no-op sink).
+	Tele *telemetry.Collector
+
 	done     bool
 	doneTime sim.Time
 	// DoneHook is called when the stream is exhausted.
@@ -134,6 +139,13 @@ func (p *Processor) busy(t sim.Time) {
 	}
 }
 
+// stall records the blocked interval [from, now] on the timeline.
+func (p *Processor) stall(kind string, from sim.Time) {
+	if p.statsOn && p.Tele != nil {
+		p.Tele.StallInterval(p.ID, kind, int64(from), int64(p.eng.Now()))
+	}
+}
+
 func (p *Processor) step() {
 	op, ok := p.stream.Next()
 	if !ok {
@@ -162,6 +174,7 @@ func (p *Processor) step() {
 			if p.statsOn {
 				p.Stats.ReadStall += int64(elapsed - p.flcAccess)
 			}
+			p.stall("read", start)
 			p.eng.After(p.flcFill, p.step)
 		})
 		if hit {
@@ -182,6 +195,7 @@ func (p *Processor) step() {
 				if p.statsOn {
 					p.Stats.WriteStall += int64(elapsed)
 				}
+				p.stall("write", start)
 				p.eng.After(p.flcAccess, p.step)
 			})
 			return
@@ -191,6 +205,7 @@ func (p *Processor) step() {
 			if p.statsOn {
 				p.Stats.WriteStall += int64(p.eng.Now() - start)
 			}
+			p.stall("write", start)
 			p.busy(p.flcAccess)
 			p.eng.After(p.flcAccess, p.step)
 		}, nil)
@@ -208,6 +223,7 @@ func (p *Processor) step() {
 			if p.statsOn {
 				p.Stats.AcquireStall += int64(p.eng.Now() - start)
 			}
+			p.stall("acquire", start)
 			p.eng.After(0, p.step)
 		})
 
@@ -220,6 +236,7 @@ func (p *Processor) step() {
 			if p.statsOn {
 				p.Stats.ReleaseStall += int64(p.eng.Now() - start)
 			}
+			p.stall("release", start)
 			p.eng.After(0, p.step)
 		})
 		if proceed {
@@ -236,6 +253,7 @@ func (p *Processor) step() {
 			if p.statsOn {
 				p.Stats.BarrierStall += int64(p.eng.Now() - start)
 			}
+			p.stall("barrier", start)
 			p.eng.After(0, p.step)
 		})
 

@@ -298,3 +298,63 @@ func TestResourcePipelinedBadLatencyPanics(t *testing.T) {
 	e := NewEngine()
 	NewResource(e, "x").UsePipelined(6, 3, nil)
 }
+
+func TestResourceQueueDepth(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "bus")
+	if r.QueueDepth() != 0 || r.MaxQueueDepth() != 0 {
+		t.Fatal("fresh resource reports nonzero depth")
+	}
+	// Three back-to-back requests at t=0: depth peaks at 3 (one in service,
+	// two queued).
+	for i := 0; i < 3; i++ {
+		r.Use(10, nil)
+	}
+	if r.QueueDepth() != 3 {
+		t.Fatalf("QueueDepth = %d at t=0, want 3", r.QueueDepth())
+	}
+	e.At(15, func() {
+		if r.QueueDepth() != 2 {
+			t.Errorf("QueueDepth = %d at t=15, want 2", r.QueueDepth())
+		}
+	})
+	e.At(29, func() {
+		if r.QueueDepth() != 1 {
+			t.Errorf("QueueDepth = %d at t=29, want 1", r.QueueDepth())
+		}
+	})
+	e.At(30, func() {
+		if r.QueueDepth() != 0 {
+			t.Errorf("QueueDepth = %d at t=30, want 0", r.QueueDepth())
+		}
+	})
+	// An uncontended request after the burst must not raise the max.
+	e.At(50, func() { r.Use(5, nil) })
+	e.At(60, func() {}) // advance the clock past the last reservation
+	e.Run()
+	if r.MaxQueueDepth() != 3 {
+		t.Fatalf("MaxQueueDepth = %d, want 3", r.MaxQueueDepth())
+	}
+	if r.QueueDepth() != 0 {
+		t.Fatalf("QueueDepth = %d after drain, want 0", r.QueueDepth())
+	}
+}
+
+func TestResourceQueueDepthPipelined(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "slc")
+	// Pipelined occupancy 3: reservations end at 3, 6, 9, so at t=0 all
+	// three are pending.
+	for i := 0; i < 3; i++ {
+		r.UsePipelined(3, 6, nil)
+	}
+	if r.MaxQueueDepth() != 3 {
+		t.Fatalf("MaxQueueDepth = %d, want 3", r.MaxQueueDepth())
+	}
+	e.At(7, func() {
+		if r.QueueDepth() != 1 {
+			t.Errorf("QueueDepth = %d at t=7, want 1", r.QueueDepth())
+		}
+	})
+	e.Run()
+}

@@ -14,6 +14,14 @@ type Resource struct {
 	uses     uint64
 	busyTime Time
 	waitTime Time
+
+	// Queue-depth tracking: end-of-service times of reservations not yet
+	// finished at the last observation. FIFO order makes these monotone, so
+	// expiring the head is enough. pendHead trims lazily to avoid O(n)
+	// copies per reservation.
+	pend     []Time
+	pendHead int
+	maxDepth int
 }
 
 // NewResource returns an idle resource attached to eng.
@@ -24,18 +32,44 @@ func NewResource(eng *Engine, name string) *Resource {
 // Name returns the identifier given at construction.
 func (r *Resource) Name() string { return r.name }
 
-// Use reserves the resource for dur pclocks starting at the earliest instant
-// >= now at which it is free, and schedules done to run when service
-// completes. It returns the time at which service will begin.
-func (r *Resource) Use(dur Time, done func()) Time {
-	start := r.eng.Now()
+// reserve books the resource for occupy pclocks at the earliest free
+// instant >= now, updating statistics and depth tracking, and returns the
+// service start time.
+func (r *Resource) reserve(occupy Time) Time {
+	now := r.eng.Now()
+	start := now
 	if r.freeAt > start {
 		start = r.freeAt
 	}
 	r.uses++
-	r.waitTime += start - r.eng.Now()
-	r.busyTime += dur
-	r.freeAt = start + dur
+	r.waitTime += start - now
+	r.busyTime += occupy
+	r.freeAt = start + occupy
+
+	r.expire(now)
+	r.pend = append(r.pend, start+occupy)
+	if d := len(r.pend) - r.pendHead; d > r.maxDepth {
+		r.maxDepth = d
+	}
+	return start
+}
+
+// expire drops reservations whose service ended at or before now.
+func (r *Resource) expire(now Time) {
+	for r.pendHead < len(r.pend) && r.pend[r.pendHead] <= now {
+		r.pendHead++
+	}
+	if r.pendHead == len(r.pend) {
+		r.pend = r.pend[:0]
+		r.pendHead = 0
+	}
+}
+
+// Use reserves the resource for dur pclocks starting at the earliest instant
+// >= now at which it is free, and schedules done to run when service
+// completes. It returns the time at which service will begin.
+func (r *Resource) Use(dur Time, done func()) Time {
+	start := r.reserve(dur)
 	if done != nil {
 		r.eng.At(start+dur, done)
 	}
@@ -50,14 +84,7 @@ func (r *Resource) UsePipelined(occupy, latency Time, done func()) Time {
 	if latency < occupy {
 		panic("sim: pipelined latency shorter than occupancy")
 	}
-	start := r.eng.Now()
-	if r.freeAt > start {
-		start = r.freeAt
-	}
-	r.uses++
-	r.waitTime += start - r.eng.Now()
-	r.busyTime += occupy
-	r.freeAt = start + occupy
+	start := r.reserve(occupy)
 	if done != nil {
 		r.eng.At(start+latency, done)
 	}
@@ -75,3 +102,13 @@ func (r *Resource) BusyTime() Time { return r.busyTime }
 
 // WaitTime returns total pclocks requests spent queued before service.
 func (r *Resource) WaitTime() Time { return r.waitTime }
+
+// QueueDepth returns the number of reservations in service or queued now.
+func (r *Resource) QueueDepth() int {
+	r.expire(r.eng.Now())
+	return len(r.pend) - r.pendHead
+}
+
+// MaxQueueDepth returns the largest instantaneous queue depth observed,
+// counting the reservation in service.
+func (r *Resource) MaxQueueDepth() int { return r.maxDepth }

@@ -138,74 +138,6 @@ type Prefetch struct {
 	Nacked   uint64 // prefetches rejected because the block was dirty remotely
 }
 
-// latencyBounds are the upper bounds (pclocks) of the histogram buckets;
-// the last bucket is unbounded.
-var latencyBounds = [...]int64{32, 64, 128, 256, 512, 1024, 2048}
-
-// LatencyHist buckets service times so runs can report the distribution of
-// demand-miss latencies, not just the mean (contention shows up in the
-// tail first).
-type LatencyHist struct {
-	Buckets [len(latencyBounds) + 1]uint64
-}
-
-// Add records one service time.
-func (h *LatencyHist) Add(pclocks int64) {
-	for i, b := range latencyBounds {
-		if pclocks <= b {
-			h.Buckets[i]++
-			return
-		}
-	}
-	h.Buckets[len(h.Buckets)-1]++
-}
-
-// Merge accumulates another histogram into h.
-func (h *LatencyHist) Merge(o LatencyHist) {
-	for i := range h.Buckets {
-		h.Buckets[i] += o.Buckets[i]
-	}
-}
-
-// Total returns the sample count.
-func (h *LatencyHist) Total() uint64 {
-	var t uint64
-	for _, b := range h.Buckets {
-		t += b
-	}
-	return t
-}
-
-// Percentile returns the upper bound of the bucket containing the p-th
-// percentile (0 < p <= 100), or 0 with no samples. The last bucket reports
-// its lower bound (its upper bound is unbounded).
-func (h *LatencyHist) Percentile(p float64) int64 {
-	total := h.Total()
-	if total == 0 {
-		return 0
-	}
-	target := uint64(p / 100 * float64(total))
-	if target == 0 {
-		target = 1
-	}
-	var seen uint64
-	for i, n := range h.Buckets {
-		seen += n
-		if seen >= target {
-			if i < len(latencyBounds) {
-				return latencyBounds[i]
-			}
-			return latencyBounds[len(latencyBounds)-1]
-		}
-	}
-	return latencyBounds[len(latencyBounds)-1]
-}
-
-// BucketBound returns bucket i's upper bound (the last bucket returns the
-// previous bound; it is unbounded above).
-func BucketBound(i int) int64 {
-	if i < len(latencyBounds) {
-		return latencyBounds[i]
-	}
-	return latencyBounds[len(latencyBounds)-1]
-}
+// The demand-miss latency distribution is recorded in a Hist (hist.go), the
+// log-bucketed histogram shared by the per-cache statistics and the
+// telemetry sampler.

@@ -147,48 +147,123 @@ func TestClassifierLastDepartureWinsProperty(t *testing.T) {
 	}
 }
 
-func TestLatencyHist(t *testing.T) {
-	var h LatencyHist
-	if h.Percentile(50) != 0 {
-		t.Fatal("empty histogram percentile not 0")
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Quantile(50) != 0 || h.Quantile(100) != 0 {
+		t.Fatal("empty histogram quantile not 0")
 	}
-	for _, v := range []int64{10, 30, 60, 100, 300, 3000} {
-		h.Add(v)
-	}
-	if h.Total() != 6 {
-		t.Fatalf("Total = %d", h.Total())
-	}
-	if h.Buckets[0] != 2 { // 10, 30 <= 32
-		t.Fatalf("bucket 0 = %d", h.Buckets[0])
-	}
-	if h.Buckets[len(h.Buckets)-1] != 1 { // 3000 overflows
-		t.Fatal("overflow bucket wrong")
-	}
-	if p := h.Percentile(50); p != 64 {
-		t.Fatalf("P50 = %d, want 64 (bucket bound of the 3rd sample)", p)
-	}
-	if p := h.Percentile(100); p != 2048 {
-		t.Fatalf("P100 = %d", p)
-	}
-	var o LatencyHist
-	o.Add(10)
-	h.Merge(o)
-	if h.Total() != 7 || h.Buckets[0] != 3 {
-		t.Fatal("merge wrong")
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram counters not 0")
 	}
 }
 
-func TestLatencyHistMonotonicProperty(t *testing.T) {
-	var h LatencyHist
-	for i := int64(1); i < 4000; i += 37 {
+func TestHistExactSmallValues(t *testing.T) {
+	// Values below two octaves of sub-buckets land in exact buckets, so
+	// every quantile of a small-value set is exact.
+	var h Hist
+	for v := int64(0); v < 16; v++ {
+		h.Add(v)
+	}
+	if got := h.Quantile(100); got != 15 {
+		t.Fatalf("P100 = %d, want 15", got)
+	}
+	if got := h.Quantile(50); got != 7 {
+		t.Fatalf("P50 = %d, want 7", got)
+	}
+	if got := h.Quantile(6.25); got != 0 {
+		t.Fatalf("P6.25 = %d, want 0", got)
+	}
+}
+
+func TestHistBucketBoundaries(t *testing.T) {
+	// 16 and 17 share the first coarse bucket: the quantile may not resolve
+	// between them but must stay inside the bucket, and the max stays exact.
+	var h Hist
+	h.Add(16)
+	h.Add(17)
+	if p := h.Quantile(50); p < 16 || p > 17 {
+		t.Fatalf("P50 = %d, want within [16,17]", p)
+	}
+	if p := h.Quantile(100); p != 17 {
+		t.Fatalf("P100 = %d, want exact max 17", p)
+	}
+	// A quantile upper bound never exceeds the exact maximum, even when the
+	// max sits at the bottom of its bucket.
+	var g Hist
+	g.Add(1 << 20)
+	if p := g.Quantile(50); p != 1<<20 {
+		t.Fatalf("single-sample P50 = %d, want %d", p, 1<<20)
+	}
+}
+
+func TestHistQuantileUpperBound(t *testing.T) {
+	// The quantile estimate brackets the true order statistic from above
+	// with bounded relative error.
+	var h Hist
+	var vals []int64
+	for i := int64(1); i < 40000; i += 37 {
 		h.Add(i)
+		vals = append(vals, i)
+	}
+	if h.Count() != uint64(len(vals)) {
+		t.Fatalf("Count = %d, want %d", h.Count(), len(vals))
 	}
 	last := int64(0)
-	for _, p := range []float64{10, 25, 50, 75, 90, 99} {
-		v := h.Percentile(p)
-		if v < last {
-			t.Fatalf("percentiles not monotonic at %v: %d < %d", p, v, last)
+	for _, p := range []float64{10, 25, 50, 75, 90, 99, 100} {
+		got := h.Quantile(p)
+		rank := int(p / 100 * float64(len(vals)))
+		if rank == 0 {
+			rank = 1
 		}
-		last = v
+		truth := vals[rank-1]
+		if got < truth {
+			t.Fatalf("P%v = %d below true order statistic %d", p, got, truth)
+		}
+		if float64(got) > float64(truth)*1.125+1 {
+			t.Fatalf("P%v = %d overshoots true %d by more than 12.5%%", p, got, truth)
+		}
+		if got < last {
+			t.Fatalf("quantiles not monotonic at %v: %d < %d", p, got, last)
+		}
+		last = got
+	}
+}
+
+func TestHistMergeAcrossProcessors(t *testing.T) {
+	// Merging per-processor histograms must be indistinguishable from one
+	// processor having recorded everything.
+	var parts [4]Hist
+	var whole Hist
+	for i := int64(0); i < 4000; i++ {
+		v := (i * i) % 9001
+		parts[i%4].Add(v)
+		whole.Add(v)
+	}
+	var merged Hist
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged != whole {
+		t.Fatal("merged histogram differs from directly accumulated one")
+	}
+	for _, p := range []float64{1, 50, 95, 99, 100} {
+		if merged.Quantile(p) != whole.Quantile(p) {
+			t.Fatalf("P%v differs after merge", p)
+		}
+	}
+}
+
+func TestHistExtremes(t *testing.T) {
+	var h Hist
+	h.Add(-5) // clamps to 0
+	h.Add(1 << 50)
+	if h.Max() != 1<<50 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if h.Quantile(100) != 1<<50 {
+		t.Fatal("overflow bucket must report the exact max")
+	}
+	if h.Quantile(1) != 0 {
+		t.Fatal("clamped negative must land at 0")
 	}
 }

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"ccsim/internal/sim"
+	"ccsim/internal/stats"
+)
+
+// resourceWatch tracks one sim.Resource between samples.
+type resourceWatch struct {
+	name string
+	node int
+	res  *sim.Resource
+
+	lastBusy sim.Time
+	lastWait sim.Time
+
+	// depths is the distribution of instantaneous queue depths across
+	// samples — the shared log-bucketed histogram also used for miss
+	// latencies.
+	depths stats.Hist
+}
+
+// gaugeWatch samples an arbitrary monotone or instantaneous counter.
+type gaugeWatch struct {
+	name string
+	node int
+	fn   func() int64
+}
+
+// Sample is one sampler snapshot. Util, Wait and Depth are indexed like the
+// collector's watches, Gauges like its gauges.
+type Sample struct {
+	At    int64
+	Util  []float64 // busy fraction of each watched resource over the interval
+	Wait  []int64   // queue-wait pclocks accrued over the interval
+	Depth []int     // instantaneous queue depth
+	Gauge []int64
+}
+
+// WatchResource registers a resource for periodic utilization sampling.
+// node is the owning node's ID, or negative for machine-wide resources.
+func (c *Collector) WatchResource(name string, node int, r *sim.Resource) {
+	if c == nil || r == nil {
+		return
+	}
+	c.watches = append(c.watches, &resourceWatch{name: name, node: node, res: r})
+}
+
+// WatchGauge registers a counter sampled alongside the resources.
+func (c *Collector) WatchGauge(name string, node int, fn func() int64) {
+	if c == nil || fn == nil {
+		return
+	}
+	c.gauges = append(c.gauges, gaugeWatch{name: name, node: node, fn: fn})
+}
+
+// StartSampler schedules the first snapshot Options.SampleEvery pclocks from
+// now. Each tick reschedules itself only while the engine still has pending
+// events, so the sampler drains with the simulation instead of keeping it
+// alive. Sampling reads counters only; it never changes timing.
+func (c *Collector) StartSampler(eng *sim.Engine) {
+	if c == nil || (len(c.watches) == 0 && len(c.gauges) == 0) {
+		return
+	}
+	c.lastAt = eng.Now()
+	every := c.opts.SampleEvery
+	var tick func()
+	tick = func() {
+		c.sample(eng.Now())
+		if eng.Pending() > 0 && len(c.samples) < c.opts.MaxSamples {
+			eng.After(every, tick)
+		}
+	}
+	eng.After(every, tick)
+}
+
+func (c *Collector) sample(now sim.Time) {
+	dt := now - c.lastAt
+	c.lastAt = now
+	s := Sample{
+		At:    int64(now),
+		Util:  make([]float64, len(c.watches)),
+		Wait:  make([]int64, len(c.watches)),
+		Depth: make([]int, len(c.watches)),
+		Gauge: make([]int64, len(c.gauges)),
+	}
+	for i, w := range c.watches {
+		// BusyTime is booked wholesale at reservation time, but queued
+		// reservations run contiguously up to FreeAt, so the portion already
+		// realized by `now` is exact: total minus what still lies ahead.
+		busy, wait := w.res.BusyTime(), w.res.WaitTime()
+		if f := w.res.FreeAt(); f > now {
+			busy -= f - now
+		}
+		if dt > 0 {
+			s.Util[i] = float64(busy-w.lastBusy) / float64(dt)
+		}
+		s.Wait[i] = int64(wait - w.lastWait)
+		w.lastBusy, w.lastWait = busy, wait
+		d := w.res.QueueDepth()
+		s.Depth[i] = d
+		w.depths.Add(int64(d))
+	}
+	for i, g := range c.gauges {
+		s.Gauge[i] = g.fn()
+	}
+	c.samples = append(c.samples, s)
+}
+
+// Samples returns the snapshots taken so far.
+func (c *Collector) Samples() []Sample {
+	if c == nil {
+		return nil
+	}
+	return c.samples
+}
+
+// DepthHist returns the sampled queue-depth distribution of watch i (in
+// registration order) and the watch's name, for tests and reports.
+func (c *Collector) DepthHist(i int) (string, stats.Hist) {
+	if c == nil || i < 0 || i >= len(c.watches) {
+		return "", stats.Hist{}
+	}
+	return c.watches[i].name, c.watches[i].depths
+}

@@ -6,9 +6,47 @@ import (
 	"ccsim/internal/machine"
 	"ccsim/internal/memsys"
 	"ccsim/internal/stats"
+	"ccsim/internal/telemetry"
 )
 
 func memAddr(a uint64) memsys.Addr { return memsys.Addr(a) }
+
+// ResourceUtil reports one contended resource's occupancy over the run.
+type ResourceUtil struct {
+	Name          string  // "bus" or "slc"
+	Node          int     // owning node
+	Utilization   float64 // busy pclocks / TotalPclocks
+	BusyPclocks   int64
+	WaitPclocks   int64 // cumulative time requests queued for the resource
+	Uses          uint64
+	MaxQueueDepth int // peak simultaneous reservations
+}
+
+func convertResources(r *machine.Result) []ResourceUtil {
+	out := make([]ResourceUtil, 0, len(r.Resources))
+	for _, u := range r.Resources {
+		ru := ResourceUtil{
+			Name:          u.Name,
+			Node:          u.Node,
+			BusyPclocks:   u.Busy,
+			WaitPclocks:   u.Wait,
+			Uses:          u.Uses,
+			MaxQueueDepth: u.MaxQueueDepth,
+		}
+		if r.TotalPclocks > 0 {
+			ru.Utilization = float64(u.Busy) / float64(r.TotalPclocks)
+		}
+		out = append(out, ru)
+	}
+	return out
+}
+
+func missPhases(cfg Config) map[string]int64 {
+	if cfg.Telemetry == nil {
+		return nil
+	}
+	return cfg.Telemetry.PhaseTotals(telemetry.SpanRead)
+}
 
 // Result carries everything a run measures, in the units the paper
 // reports.
@@ -50,10 +88,26 @@ type Result struct {
 	// Mean demand read-miss service time in pclocks (the paper quotes
 	// MP3D's dropping 41% under CW).
 	AvgReadMissLatency float64
-	// MissLatencyP50/P95 are distribution points of the same (bucketed
+	// MissLatencyP50/P95/P99 are distribution points of the same (bucketed
 	// upper bounds): contention shows in the tail long before the mean.
+	// MissLatencyMax is exact.
 	MissLatencyP50 int64
 	MissLatencyP95 int64
+	MissLatencyP99 int64
+	MissLatencyMax int64
+
+	// TotalPclocks is the full run duration including initialization — the
+	// denominator of each ResourceUtil.Utilization.
+	TotalPclocks int64
+
+	// Resources reports lifetime occupancy of every node's bus and SLC.
+	Resources []ResourceUtil
+
+	// MissPhasePclocks decomposes sampled demand-miss spans by protocol
+	// phase (request transit, directory wait, memory access, owner forward,
+	// reply transit, FLC fill), summed over spans. Nil unless the run had a
+	// Telemetry collector attached.
+	MissPhasePclocks map[string]int64 `json:",omitempty"`
 
 	// Extension activity.
 	PrefetchesIssued  uint64
@@ -93,8 +147,13 @@ func convertResult(cfg Config, r *machine.Result) *Result {
 		UpdateBytes:        r.Traffic.Bytes[stats.UpdateMsg],
 		DataBytes:          r.Traffic.Bytes[stats.DataMsg],
 		AvgReadMissLatency: r.AvgReadMissLatency(),
-		MissLatencyP50:     r.Cache.LatencyHist.Percentile(50),
-		MissLatencyP95:     r.Cache.LatencyHist.Percentile(95),
+		MissLatencyP50:     r.Cache.LatencyHist.Quantile(50),
+		MissLatencyP95:     r.Cache.LatencyHist.Quantile(95),
+		MissLatencyP99:     r.Cache.LatencyHist.Quantile(99),
+		MissLatencyMax:     r.Cache.LatencyHist.Max(),
+		TotalPclocks:       r.TotalPclocks,
+		Resources:          convertResources(r),
+		MissPhasePclocks:   missPhases(cfg),
 		PrefetchesIssued:   r.Prefetch.Issued,
 		PrefetchesUseful:   r.Prefetch.Useful,
 		PrefetchPartHits:   r.Prefetch.PartHits,

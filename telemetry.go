@@ -1,0 +1,24 @@
+package ccsim
+
+import "ccsim/internal/telemetry"
+
+// Telemetry collects a run's observability data: causal transaction spans
+// for sampled misses, prefetches, ownership requests and updates; processor
+// stall intervals; directory-transition instants; and periodic utilization
+// samples of every node's bus and SLC. Attach one via Config.Telemetry,
+// then export a Perfetto/Chrome trace with WriteTimeline or inspect the
+// spans programmatically. A nil *Telemetry is a no-op on every path, so the
+// instrumented simulator pays nothing when telemetry is off.
+type Telemetry = telemetry.Collector
+
+// NewTelemetry returns a collector with default capacity limits and a
+// 1000-pclock sampling period.
+func NewTelemetry() *Telemetry { return telemetry.New(telemetry.DefaultOptions()) }
+
+// NewTelemetryOptions exposes the underlying options for callers that need
+// custom span caps or sampling periods.
+type TelemetryOptions = telemetry.Options
+
+// NewTelemetryWith returns a collector with the given options; zero fields
+// take their defaults.
+func NewTelemetryWith(opts TelemetryOptions) *Telemetry { return telemetry.New(opts) }

@@ -1,0 +1,115 @@
+package ccsim_test
+
+// End-to-end checks of the telemetry layer against real simulations: the
+// causal-span invariant (phase segments tile each transaction exactly), the
+// byte-determinism of exported timelines, and the machine-readable result.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ccsim"
+	"ccsim/internal/telemetry"
+)
+
+func telemetryRun(t *testing.T, wl string) (*ccsim.Result, *ccsim.Telemetry) {
+	t.Helper()
+	cfg := tinyCfg(wl)
+	cfg.Extensions = ccsim.Ext{P: true, CW: true}
+	cfg.Telemetry = ccsim.NewTelemetry()
+	r, err := ccsim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, cfg.Telemetry
+}
+
+func TestTelemetrySpansSumToLatency(t *testing.T) {
+	_, tl := telemetryRun(t, "mp3d")
+	spans := tl.Spans()
+	if len(spans) == 0 {
+		t.Fatal("run produced no spans")
+	}
+	var readTotal int64
+	for _, s := range spans {
+		var sum int64
+		for _, d := range s.Durations() {
+			sum += d
+		}
+		if sum != s.Latency() {
+			t.Fatalf("span %d (%s): phase durations sum to %d, latency %d",
+				s.ID, s.Kind, sum, s.Latency())
+		}
+		if s.Kind == telemetry.SpanRead {
+			readTotal += s.Latency()
+		}
+	}
+	var phased int64
+	for _, v := range tl.PhaseTotals(telemetry.SpanRead) {
+		phased += v
+	}
+	if phased != readTotal {
+		t.Fatalf("PhaseTotals sum %d, read-span latency total %d", phased, readTotal)
+	}
+}
+
+func TestTelemetryTimelineDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	_, tl1 := telemetryRun(t, "mp3d")
+	if err := tl1.WriteTimeline(&a); err != nil {
+		t.Fatal(err)
+	}
+	_, tl2 := telemetryRun(t, "mp3d")
+	if err := tl2.WriteTimeline(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("identical runs produced different timelines (%d vs %d bytes)", a.Len(), b.Len())
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &tf); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("timeline has no events")
+	}
+}
+
+func TestResultJSONIncludesObservability(t *testing.T) {
+	r, _ := telemetryRun(t, "mp3d")
+	if r.TotalPclocks <= 0 || r.TotalPclocks < r.ExecTime {
+		t.Fatalf("TotalPclocks %d implausible against ExecTime %d", r.TotalPclocks, r.ExecTime)
+	}
+	if len(r.Resources) != 2*r.Procs {
+		t.Fatalf("%d resource rows, want bus+slc per node = %d", len(r.Resources), 2*r.Procs)
+	}
+	for _, u := range r.Resources {
+		if u.Utilization < 0 || u.Utilization > 1 {
+			t.Fatalf("%s@%d utilization %v out of range", u.Name, u.Node, u.Utilization)
+		}
+	}
+	if r.MissLatencyP50 > r.MissLatencyP95 || r.MissLatencyP95 > r.MissLatencyP99 ||
+		r.MissLatencyP99 > r.MissLatencyMax {
+		t.Fatalf("quantiles not monotone: P50=%d P95=%d P99=%d max=%d",
+			r.MissLatencyP50, r.MissLatencyP95, r.MissLatencyP99, r.MissLatencyMax)
+	}
+	if len(r.MissPhasePclocks) == 0 {
+		t.Fatal("MissPhasePclocks empty despite telemetry run")
+	}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"MissLatencyP99", "MissLatencyMax", "Resources", "TotalPclocks", "MissPhasePclocks"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("result JSON missing %q", key)
+		}
+	}
+}
