@@ -1,11 +1,14 @@
 .PHONY: verify test bench
 
-# Tier-1 gate: build + vet + full tests + race pass on sim and telemetry.
+# Tier-1 gate: build + vet + full tests + race passes (sim, telemetry, exp).
 verify:
 	sh verify.sh
 
 test:
 	go test ./...
 
+# Benchmarks, archived machine-readably: the raw go test output streams to
+# the terminal while cmd/benchjson writes the parsed results to
+# BENCH_PR2.json for cross-PR comparison.
 bench:
-	go test -bench=. -benchmem
+	go test -bench=. -benchmem -count=1 ./... | go run ./cmd/benchjson -o BENCH_PR2.json

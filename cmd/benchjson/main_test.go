@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkEngineCallEvents-8  \t 7670774\t       151.4 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "BenchmarkEngineCallEvents" || b.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d", b.Name, b.Procs)
+	}
+	if b.Iterations != 7670774 || b.NsPerOp != 151.4 || b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
+		t.Fatalf("values = %+v", b)
+	}
+}
+
+func TestParseLineCustomMetric(t *testing.T) {
+	b, ok := parseLine("BenchmarkRun-4 10 1000 ns/op 42.5 events/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Extra["events/op"] != 42.5 {
+		t.Fatalf("extra = %v", b.Extra)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tccsim/internal/sim\t2.1s",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"Benchmark no fields",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("parsed noise line %q", line)
+		}
+	}
+}

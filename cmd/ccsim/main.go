@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"ccsim"
+	"ccsim/internal/prof"
 )
 
 func parseExt(s string) (ccsim.Ext, error) {
@@ -46,7 +47,11 @@ func parseExt(s string) (ccsim.Ext, error) {
 	return e, nil
 }
 
-func main() {
+// main delegates to run so deferred profile flushing survives every exit
+// path (os.Exit would skip it).
+func main() { os.Exit(run()) }
+
+func run() int {
 	workload := flag.String("workload", "mp3d", "kernel: "+strings.Join(ccsim.Workloads(), ", "))
 	ext := flag.String("ext", "BASIC", "protocol extensions: BASIC, P, M, CW, P+CW, P+M, CW+M, P+CW+M")
 	sc := flag.Bool("sc", false, "sequential consistency (default: release consistency)")
@@ -64,7 +69,16 @@ func main() {
 	traceAddrs := flag.String("traceaddrs", "", "comma-separated byte addresses restricting the trace")
 	jsonOut := flag.Bool("json", false, "print the full result as JSON instead of the text report")
 	timeline := flag.String("timeline", "", "write a Perfetto/Chrome trace-event timeline to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer stopProf()
 
 	cfg := ccsim.DefaultConfig()
 	cfg.Workload = *workload
@@ -83,12 +97,12 @@ func main() {
 		cfg.Net = ccsim.Mesh
 	default:
 		fmt.Fprintf(os.Stderr, "unknown network %q\n", *netKind)
-		os.Exit(2)
+		return 2
 	}
 	e, err := parseExt(*ext)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	cfg.Extensions = e
 	if *timeline != "" {
@@ -101,7 +115,7 @@ func main() {
 			f, err := os.Create(*traceOut)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			defer f.Close()
 			w = f
@@ -112,7 +126,7 @@ func main() {
 				var a uint64
 				if _, err := fmt.Sscanf(strings.TrimSpace(part), "%v", &a); err != nil {
 					fmt.Fprintf(os.Stderr, "bad trace address %q\n", part)
-					os.Exit(2)
+					return 2
 				}
 				cfg.TraceBlocks = append(cfg.TraceBlocks, a)
 			}
@@ -123,23 +137,23 @@ func main() {
 		ops, err := ccsim.WorkloadOps(*workload, *procs, *scale)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		f, err := os.Create(*dump)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := ccsim.WriteTrace(f, ops); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s\n", *dump)
-		return
+		return 0
 	}
 
 	var r *ccsim.Result
@@ -147,13 +161,13 @@ func main() {
 		f, ferr := os.Open(*in)
 		if ferr != nil {
 			fmt.Fprintln(os.Stderr, ferr)
-			os.Exit(1)
+			return 1
 		}
 		streams, perr := ccsim.ParseTrace(f)
 		f.Close()
 		if perr != nil {
 			fmt.Fprintln(os.Stderr, perr)
-			os.Exit(1)
+			return 1
 		}
 		cfg.Procs = len(streams)
 		cfg.Workload = "trace:" + *in
@@ -163,22 +177,22 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	if *timeline != "" {
 		f, ferr := os.Create(*timeline)
 		if ferr != nil {
 			fmt.Fprintln(os.Stderr, ferr)
-			os.Exit(1)
+			return 1
 		}
 		if werr := cfg.Telemetry.WriteTimeline(f); werr != nil {
 			fmt.Fprintln(os.Stderr, werr)
-			os.Exit(1)
+			return 1
 		}
 		if cerr := f.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, cerr)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -187,9 +201,9 @@ func main() {
 		enc.SetIndent("", "  ")
 		if jerr := enc.Encode(r); jerr != nil {
 			fmt.Fprintln(os.Stderr, jerr)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	n := float64(r.Procs)
@@ -222,4 +236,5 @@ func main() {
 			r.UpdateRequests, r.WriteCacheHits)
 	}
 	fmt.Printf("ownership   %d ownership requests\n", r.OwnershipRequests)
+	return 0
 }

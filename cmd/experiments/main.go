@@ -15,34 +15,60 @@
 //	experiments -exp sens-buffers   # §5.4: 4-entry write buffers
 //	experiments -exp sens-cache     # §5.4: 16-KB SLC
 //	experiments -scale 0.25 ...     # shrink the workloads for a quick pass
+//	experiments -jobs 8 ...         # simulate up to 8 configurations at once
 //	experiments -metrics out/ ...   # also write each run's result as JSON
+//	experiments -cpuprofile p.out   # write a runtime/pprof CPU profile
+//
+// All experiments of one invocation share a scheduler: a configuration
+// named by several experiments (every figure's BASIC baseline, Table 2's
+// subset of Figure 2's grid) simulates exactly once. Worker count changes
+// wall-clock time only — printed results are identical at any -jobs value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"ccsim/exp"
+	"ccsim/internal/prof"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	which := flag.String("exp", "all", "experiment: all, table1, fig2, table2, fig3, table3, fig4, sens-buffers, sens-cache, dir, assoc, scaling, cost")
 	scale := flag.Float64("scale", 1.0, "workload problem-size multiplier")
 	procs := flag.Int("procs", 16, "processor count")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max simulations to run concurrently")
 	metrics := flag.String("metrics", "", "write each run's full result as JSON into this directory")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	o := exp.Options{Scale: *scale, Procs: *procs, MetricsDir: *metrics}
-	run := func(name string, fn func() error) {
+	stop, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer stop()
+
+	sched := exp.NewScheduler(*jobs, *metrics)
+	o := exp.Options{Scale: *scale, Procs: *procs, MetricsDir: *metrics, Sched: sched}
+	runExp := func(name string, fn func() error) error {
 		t0 := time.Now()
 		fmt.Printf("==== %s (scale %g, %d processors) ====\n", name, o.Scale, o.Procs)
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("---- %s done in %v ----\n\n", name, time.Since(t0).Round(time.Millisecond))
+		// Wall-clock goes to stderr so stdout is byte-identical across runs
+		// and -jobs values (diffable results).
+		fmt.Printf("---- %s done ----\n\n", name)
+		fmt.Fprintf(os.Stderr, "%s took %v\n", name, time.Since(t0).Round(time.Millisecond))
+		return nil
 	}
 
 	experiments := map[string]func() error{
@@ -143,14 +169,22 @@ func main() {
 	order := []string{"table1", "fig2", "table2", "fig3", "table3", "fig4", "sens-buffers", "sens-cache", "dir", "assoc", "scaling", "cost"}
 	if *which == "all" {
 		for _, name := range order {
-			run(name, experiments[name])
+			if runExp(name, experiments[name]) != nil {
+				return 1
+			}
 		}
-		return
+		// Stderr, not stdout: results must be byte-identical at any -jobs.
+		fmt.Fprintf(os.Stderr, "simulated %d unique configurations (%d workers)\n",
+			sched.Unique(), sched.Jobs())
+		return 0
 	}
 	fn, ok := experiments[*which]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; have %v and all\n", *which, order)
-		os.Exit(2)
+		return 2
 	}
-	run(*which, fn)
+	if runExp(*which, fn) != nil {
+		return 1
+	}
+	return 0
 }

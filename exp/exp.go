@@ -42,6 +42,19 @@ type Options struct {
 	Scale float64 // workload problem-size multiplier (1.0 = default)
 	Procs int     // processors (paper: 16)
 
+	// Jobs bounds the number of simulations run concurrently when an
+	// experiment has to create its own scheduler (Sched == nil); 0 selects
+	// GOMAXPROCS. Worker count never changes results: runs are
+	// deterministic and collected in declaration order.
+	Jobs int
+
+	// Sched, when non-nil, is the shared run scheduler: its cache
+	// deduplicates identical configurations across every experiment using
+	// it, and its MetricsDir (not this struct's) governs metrics output.
+	// When nil, each experiment function builds a private scheduler from
+	// Jobs and MetricsDir.
+	Sched *Scheduler
+
 	// MetricsDir, when non-empty, makes every simulation in a sweep write
 	// its full Result as an indented JSON file into this directory (created
 	// on first use). Filenames encode the workload, protocol, network and
@@ -61,17 +74,13 @@ func (o Options) config(wl string) ccsim.Config {
 	return cfg
 }
 
-// run executes one simulation, writing its metrics file when MetricsDir is
-// set.
-func (o Options) run(cfg ccsim.Config) (*ccsim.Result, error) {
-	r, err := ccsim.Run(cfg)
-	if err != nil || o.MetricsDir == "" {
-		return r, err
+// scheduler returns the sweep's run scheduler: the shared one when set,
+// otherwise a fresh private pool.
+func (o Options) scheduler() *Scheduler {
+	if o.Sched != nil {
+		return o.Sched
 	}
-	if werr := writeMetrics(o.MetricsDir, cfg, r); werr != nil {
-		return nil, werr
-	}
-	return r, nil
+	return NewScheduler(o.Jobs, o.MetricsDir)
 }
 
 // metricsName builds a collision-safe filename for one run's metrics: every
@@ -132,32 +141,43 @@ type Fig2Row struct {
 }
 
 // Figure2 reproduces Figure 2: all eight protocols under release
-// consistency on the contention-free network.
+// consistency on the contention-free network. The whole grid is submitted
+// to the run scheduler up front and collected in the paper's order.
 func Figure2(o Options) ([]Fig2Row, error) {
-	var rows []Fig2Row
+	s := o.scheduler()
+	type cell struct {
+		wl   string
+		c    Combo
+		pend *Pending
+	}
+	var grid []cell
 	for _, wl := range ccsim.Workloads() {
-		var base *ccsim.Result
 		for _, c := range Combos() {
 			cfg := o.config(wl)
 			cfg.Extensions = c.Ext
-			r, err := o.run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig2 %s/%s: %w", wl, c.Name, err)
-			}
-			if base == nil {
-				base = r
-			}
-			denom := float64(base.ExecTime) * float64(o.Procs)
-			rows = append(rows, Fig2Row{
-				Workload: wl,
-				Protocol: c.Name,
-				Relative: r.RelativeTo(base),
-				Busy:     float64(r.Busy) / denom,
-				Read:     float64(r.ReadStall) / denom,
-				Acquire:  float64(r.AcquireStall) / denom,
-				Result:   r,
-			})
+			grid = append(grid, cell{wl, c, s.Submit(cfg)})
 		}
+	}
+	var rows []Fig2Row
+	var base *ccsim.Result
+	for i, g := range grid {
+		r, err := g.pend.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("fig2 %s/%s: %w", g.wl, g.c.Name, err)
+		}
+		if i%len(Combos()) == 0 { // first combo of each workload is the baseline
+			base = r
+		}
+		denom := float64(base.ExecTime) * float64(o.Procs)
+		rows = append(rows, Fig2Row{
+			Workload: g.wl,
+			Protocol: g.c.Name,
+			Relative: r.RelativeTo(base),
+			Busy:     float64(r.Busy) / denom,
+			Read:     float64(r.ReadStall) / denom,
+			Acquire:  float64(r.AcquireStall) / denom,
+			Result:   r,
+		})
 	}
 	return rows, nil
 }
@@ -191,18 +211,28 @@ type Table2Row struct {
 // Table2Protocols lists the protocols Table 2 compares.
 var Table2Protocols = []string{"BASIC", "P", "CW", "P+CW"}
 
-// Table2 reproduces Table 2's miss-rate components under RC.
+// Table2 reproduces Table 2's miss-rate components under RC. Its four
+// protocols are a subset of Figure 2's grid, so under a shared scheduler
+// the whole table comes from the cache.
 func Table2(o Options) ([]Table2Row, error) {
+	s := o.scheduler()
 	combos := map[string]ccsim.Ext{
 		"BASIC": {}, "P": {P: true}, "CW": {CW: true}, "P+CW": {P: true, CW: true},
+	}
+	grid := make(map[string]map[string]*Pending)
+	for _, wl := range ccsim.Workloads() {
+		grid[wl] = make(map[string]*Pending)
+		for _, name := range Table2Protocols {
+			cfg := o.config(wl)
+			cfg.Extensions = combos[name]
+			grid[wl][name] = s.Submit(cfg)
+		}
 	}
 	var rows []Table2Row
 	for _, wl := range ccsim.Workloads() {
 		row := Table2Row{Workload: wl, Cold: map[string]float64{}, Coh: map[string]float64{}}
 		for _, name := range Table2Protocols {
-			cfg := o.config(wl)
-			cfg.Extensions = combos[name]
-			r, err := o.run(cfg)
+			r, err := grid[wl][name].Wait()
 			if err != nil {
 				return nil, fmt.Errorf("table2 %s/%s: %w", wl, name, err)
 			}
@@ -260,28 +290,41 @@ var Figure3Protocols = []Combo{
 // Figure3 reproduces Figure 3: P and M under sequential consistency (CW is
 // not feasible under SC), with BASIC-RC as the reference line.
 func Figure3(o Options) ([]Fig3Row, error) {
-	var rows []Fig3Row
+	s := o.scheduler()
+	type group struct {
+		wl    string
+		rc    *Pending
+		cells []*Pending
+	}
+	var grid []group
 	for _, wl := range ccsim.Workloads() {
-		rcCfg := o.config(wl)
-		basicRC, err := o.run(rcCfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig3 %s/BASIC-RC: %w", wl, err)
-		}
-		var base *ccsim.Result
+		g := group{wl: wl, rc: s.Submit(o.config(wl))}
 		for _, c := range Figure3Protocols {
 			cfg := o.config(wl)
 			cfg.Extensions = c.Ext
 			cfg.SC = true
-			r, err := o.run(cfg)
+			g.cells = append(g.cells, s.Submit(cfg))
+		}
+		grid = append(grid, g)
+	}
+	var rows []Fig3Row
+	for _, g := range grid {
+		basicRC, err := g.rc.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s/BASIC-RC: %w", g.wl, err)
+		}
+		var base *ccsim.Result
+		for i, c := range Figure3Protocols {
+			r, err := g.cells[i].Wait()
 			if err != nil {
-				return nil, fmt.Errorf("fig3 %s/%s: %w", wl, c.Name, err)
+				return nil, fmt.Errorf("fig3 %s/%s: %w", g.wl, c.Name, err)
 			}
 			if base == nil {
 				base = r
 			}
 			denom := float64(base.ExecTime) * float64(o.Procs)
 			rows = append(rows, Fig3Row{
-				Workload:  wl,
+				Workload:  g.wl,
 				Protocol:  c.Name,
 				Relative:  r.RelativeTo(base),
 				Busy:      float64(r.Busy) / denom,
@@ -326,28 +369,45 @@ type Table3Row struct {
 // Table3LinkWidths are the mesh link widths the paper sweeps.
 var Table3LinkWidths = []int{64, 32, 16}
 
-// Table3 reproduces Table 3: the impact of network contention.
+// Table3 reproduces Table 3: the impact of network contention. The shared
+// per-link-width BASIC baseline is submitted once per (workload, width)
+// cell and deduplicated by the run cache — the paper's three protocols per
+// width never re-simulate it.
 func Table3(o Options) ([]Table3Row, error) {
+	s := o.scheduler()
+	submit := func(wl string, bits int, e ccsim.Ext) *Pending {
+		cfg := o.config(wl)
+		cfg.Extensions = e
+		cfg.Net = ccsim.Mesh
+		cfg.LinkBits = bits
+		return s.Submit(cfg)
+	}
+	type cell struct{ base, pcw, pm *Pending }
+	grid := make(map[string]map[int]cell)
+	for _, wl := range ccsim.Workloads() {
+		grid[wl] = make(map[int]cell)
+		for _, bits := range Table3LinkWidths {
+			grid[wl][bits] = cell{
+				base: submit(wl, bits, ccsim.Ext{}),
+				pcw:  submit(wl, bits, ccsim.Ext{P: true, CW: true}),
+				pm:   submit(wl, bits, ccsim.Ext{P: true, M: true}),
+			}
+		}
+	}
 	var rows []Table3Row
 	for _, wl := range ccsim.Workloads() {
 		row := Table3Row{Workload: wl, PCW: map[int]float64{}, PM: map[int]float64{}}
 		for _, bits := range Table3LinkWidths {
-			run := func(e ccsim.Ext) (*ccsim.Result, error) {
-				cfg := o.config(wl)
-				cfg.Extensions = e
-				cfg.Net = ccsim.Mesh
-				cfg.LinkBits = bits
-				return o.run(cfg)
-			}
-			base, err := run(ccsim.Ext{})
+			c := grid[wl][bits]
+			base, err := c.base.Wait()
 			if err != nil {
 				return nil, fmt.Errorf("table3 %s/BASIC/%d: %w", wl, bits, err)
 			}
-			pcw, err := run(ccsim.Ext{P: true, CW: true})
+			pcw, err := c.pcw.Wait()
 			if err != nil {
 				return nil, fmt.Errorf("table3 %s/P+CW/%d: %w", wl, bits, err)
 			}
-			pm, err := run(ccsim.Ext{P: true, M: true})
+			pm, err := c.pm.Wait()
 			if err != nil {
 				return nil, fmt.Errorf("table3 %s/P+M/%d: %w", wl, bits, err)
 			}
@@ -403,27 +463,38 @@ var Figure4Protocols = []Combo{
 }
 
 // Figure4 reproduces Figure 4: total network traffic per protocol,
-// normalized to BASIC, under RC on the uniform network.
+// normalized to BASIC, under RC on the uniform network. Every cell is
+// shared with Figure 2's grid under a shared scheduler.
 func Figure4(o Options) ([]Fig4Row, error) {
-	var rows []Fig4Row
+	s := o.scheduler()
+	type cell struct {
+		wl   string
+		c    Combo
+		pend *Pending
+	}
+	var grid []cell
 	for _, wl := range ccsim.Workloads() {
-		var base *ccsim.Result
 		for _, c := range Figure4Protocols {
 			cfg := o.config(wl)
 			cfg.Extensions = c.Ext
-			r, err := o.run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig4 %s/%s: %w", wl, c.Name, err)
-			}
-			if base == nil {
-				base = r
-			}
-			rows = append(rows, Fig4Row{
-				Workload: wl,
-				Protocol: c.Name,
-				Traffic:  r.TrafficRelativeTo(base),
-			})
+			grid = append(grid, cell{wl, c, s.Submit(cfg)})
 		}
+	}
+	var rows []Fig4Row
+	var base *ccsim.Result
+	for i, g := range grid {
+		r, err := g.pend.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %s/%s: %w", g.wl, g.c.Name, err)
+		}
+		if i%len(Figure4Protocols) == 0 {
+			base = r
+		}
+		rows = append(rows, Fig4Row{
+			Workload: g.wl,
+			Protocol: g.c.Name,
+			Traffic:  r.TrafficRelativeTo(base),
+		})
 	}
 	return rows, nil
 }

@@ -33,36 +33,47 @@ var DirPointerSweep = []int{0, 4, 2, 1}
 // relative to the full-map BASIC of the same workload, plus overflow and
 // broadcast counts.
 func DirectoryStudy(o Options) ([]DirRow, error) {
-	var rows []DirRow
+	s := o.scheduler()
+	type cell struct {
+		wl         string
+		ptrs       int
+		basic, pcw *Pending
+	}
+	var grid []cell
 	for _, wl := range ccsim.Workloads() {
-		var fullBasic *ccsim.Result
 		for _, ptrs := range DirPointerSweep {
-			run := func(e ccsim.Ext) (*ccsim.Result, error) {
+			submit := func(e ccsim.Ext) *Pending {
 				cfg := o.config(wl)
 				cfg.Extensions = e
 				cfg.DirPointers = ptrs
-				return o.run(cfg)
+				return s.Submit(cfg)
 			}
-			basic, err := run(ccsim.Ext{})
-			if err != nil {
-				return nil, fmt.Errorf("dir %s/%d: %w", wl, ptrs, err)
-			}
-			pcw, err := run(ccsim.Ext{P: true, CW: true})
-			if err != nil {
-				return nil, fmt.Errorf("dir %s/%d: %w", wl, ptrs, err)
-			}
-			if fullBasic == nil {
-				fullBasic = basic
-			}
-			rows = append(rows, DirRow{
-				Workload:   wl,
-				Pointers:   ptrs,
-				Basic:      basic.RelativeTo(fullBasic),
-				PCW:        pcw.RelativeTo(fullBasic),
-				Overflows:  basic.PointerOverflows,
-				Broadcasts: basic.BroadcastInvs,
-			})
+			grid = append(grid, cell{wl, ptrs,
+				submit(ccsim.Ext{}), submit(ccsim.Ext{P: true, CW: true})})
 		}
+	}
+	var rows []DirRow
+	var fullBasic *ccsim.Result
+	for i, g := range grid {
+		basic, err := g.basic.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("dir %s/%d: %w", g.wl, g.ptrs, err)
+		}
+		pcw, err := g.pcw.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("dir %s/%d: %w", g.wl, g.ptrs, err)
+		}
+		if i%len(DirPointerSweep) == 0 {
+			fullBasic = basic
+		}
+		rows = append(rows, DirRow{
+			Workload:   g.wl,
+			Pointers:   g.ptrs,
+			Basic:      basic.RelativeTo(fullBasic),
+			PCW:        pcw.RelativeTo(fullBasic),
+			Overflows:  basic.PointerOverflows,
+			Broadcasts: basic.BroadcastInvs,
+		})
 	}
 	return rows, nil
 }
@@ -104,35 +115,46 @@ var AssocWays = []int{1, 2, 4}
 // direct-mapped caches; associativity absorbs the conflict misses that
 // prefetching otherwise hides.
 func AssociativityStudy(o Options) ([]AssocRow, error) {
-	var rows []AssocRow
+	s := o.scheduler()
+	type cell struct {
+		wl       string
+		ways     int
+		basic, p *Pending
+	}
+	var grid []cell
 	for _, wl := range ccsim.Workloads() {
-		var base *ccsim.Result
 		for _, ways := range AssocWays {
-			run := func(e ccsim.Ext) (*ccsim.Result, error) {
+			submit := func(e ccsim.Ext) *Pending {
 				cfg := o.config(wl)
 				cfg.Extensions = e
 				cfg.SLCBlocks = 512 // 16 KB
 				cfg.SLCWays = ways
-				return o.run(cfg)
+				return s.Submit(cfg)
 			}
-			basic, err := run(ccsim.Ext{})
-			if err != nil {
-				return nil, fmt.Errorf("assoc %s/%d: %w", wl, ways, err)
-			}
-			p, err := run(ccsim.Ext{P: true})
-			if err != nil {
-				return nil, fmt.Errorf("assoc %s/%d: %w", wl, ways, err)
-			}
-			if base == nil {
-				base = basic
-			}
-			rows = append(rows, AssocRow{
-				Workload: wl,
-				Ways:     ways,
-				Basic:    basic.RelativeTo(base),
-				P:        p.RelativeTo(base),
-			})
+			grid = append(grid, cell{wl, ways,
+				submit(ccsim.Ext{}), submit(ccsim.Ext{P: true})})
 		}
+	}
+	var rows []AssocRow
+	var base *ccsim.Result
+	for i, g := range grid {
+		basic, err := g.basic.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("assoc %s/%d: %w", g.wl, g.ways, err)
+		}
+		p, err := g.p.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("assoc %s/%d: %w", g.wl, g.ways, err)
+		}
+		if i%len(AssocWays) == 0 {
+			base = basic
+		}
+		rows = append(rows, AssocRow{
+			Workload: g.wl,
+			Ways:     g.ways,
+			Basic:    basic.RelativeTo(base),
+			P:        p.RelativeTo(base),
+		})
 	}
 	return rows, nil
 }
@@ -172,34 +194,45 @@ var ScaleProcs = []int{4, 8, 16, 32}
 // machine grows — communication grows with sharing, which is exactly what
 // P and CW attack.
 func ScalingStudy(o Options) ([]ScaleRow, error) {
-	var rows []ScaleRow
+	s := o.scheduler()
+	type cell struct {
+		wl         string
+		procs      int
+		basic, pcw *Pending
+	}
+	var grid []cell
 	for _, wl := range ccsim.Workloads() {
-		var base *ccsim.Result
 		for _, procs := range ScaleProcs {
-			run := func(e ccsim.Ext) (*ccsim.Result, error) {
+			submit := func(e ccsim.Ext) *Pending {
 				cfg := o.config(wl)
 				cfg.Procs = procs
 				cfg.Extensions = e
-				return o.run(cfg)
+				return s.Submit(cfg)
 			}
-			basic, err := run(ccsim.Ext{})
-			if err != nil {
-				return nil, fmt.Errorf("scale %s/%d: %w", wl, procs, err)
-			}
-			pcw, err := run(ccsim.Ext{P: true, CW: true})
-			if err != nil {
-				return nil, fmt.Errorf("scale %s/%d: %w", wl, procs, err)
-			}
-			if base == nil {
-				base = basic
-			}
-			rows = append(rows, ScaleRow{
-				Workload: wl,
-				Procs:    procs,
-				Basic:    basic.RelativeTo(base),
-				PCW:      pcw.RelativeTo(base),
-			})
+			grid = append(grid, cell{wl, procs,
+				submit(ccsim.Ext{}), submit(ccsim.Ext{P: true, CW: true})})
 		}
+	}
+	var rows []ScaleRow
+	var base *ccsim.Result
+	for i, g := range grid {
+		basic, err := g.basic.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("scale %s/%d: %w", g.wl, g.procs, err)
+		}
+		pcw, err := g.pcw.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("scale %s/%d: %w", g.wl, g.procs, err)
+		}
+		if i%len(ScaleProcs) == 0 {
+			base = basic
+		}
+		rows = append(rows, ScaleRow{
+			Workload: g.wl,
+			Procs:    g.procs,
+			Basic:    basic.RelativeTo(base),
+			PCW:      pcw.RelativeTo(base),
+		})
 	}
 	return rows, nil
 }
@@ -238,23 +271,34 @@ type CostRow struct {
 // and 1 MB of local memory (32 K blocks).
 func CostPerformance(o Options, workloadName string) ([]CostRow, error) {
 	const slcFrames, memBlocks = 512, 1 << 15
+	s := o.scheduler()
 	baseCfg := o.config(workloadName)
-	base, err := o.run(baseCfg)
+	basePend := s.Submit(baseCfg)
+	type cell struct {
+		c    Combo
+		cfg  ccsim.Config
+		pend *Pending
+	}
+	var grid []cell
+	for _, c := range Combos() {
+		cfg := o.config(workloadName)
+		cfg.Extensions = c.Ext
+		grid = append(grid, cell{c, cfg, s.Submit(cfg)})
+	}
+	base, err := basePend.Wait()
 	if err != nil {
 		return nil, err
 	}
 	baseBits := ccsim.ComputeStorage(baseCfg, slcFrames, memBlocks)
 	var rows []CostRow
-	for _, c := range Combos() {
-		cfg := o.config(workloadName)
-		cfg.Extensions = c.Ext
-		r, err := o.run(cfg)
+	for _, g := range grid {
+		r, err := g.pend.Wait()
 		if err != nil {
-			return nil, fmt.Errorf("cost %s/%s: %w", workloadName, c.Name, err)
+			return nil, fmt.Errorf("cost %s/%s: %w", workloadName, g.c.Name, err)
 		}
-		extra := ccsim.ComputeStorage(cfg, slcFrames, memBlocks).ExtraBitsOver(baseBits)
+		extra := ccsim.ComputeStorage(g.cfg, slcFrames, memBlocks).ExtraBitsOver(baseBits)
 		row := CostRow{
-			Protocol:  c.Name,
+			Protocol:  g.c.Name,
 			Relative:  r.RelativeTo(base),
 			ExtraBits: extra,
 		}

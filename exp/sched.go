@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ccsim"
+)
+
+// Scheduler fans independent simulations out across a bounded pool of
+// goroutines and memoizes completed runs by configuration fingerprint, so
+// a sweep that names the same configuration many times — the BASIC
+// baseline of every figure, the default grid shared by both sensitivity
+// studies — simulates it exactly once. Each simulation stays
+// single-threaded and deterministic; only the scheduling of whole runs is
+// concurrent, so results are bit-identical to a sequential harness at any
+// worker count.
+//
+// The zero value is not usable; call NewScheduler. A Scheduler is safe for
+// concurrent use and is normally shared across every experiment of one
+// invocation (cmd/experiments builds one for -exp all).
+type Scheduler struct {
+	jobs       int
+	metricsDir string
+
+	// slots bounds the number of simulations running at once.
+	slots chan struct{}
+
+	mu     sync.Mutex
+	runs   map[string]*Pending
+	unique uint64
+}
+
+// Pending is a handle to a submitted run; Wait blocks until it completes.
+// The same Pending is returned to every submitter of one fingerprint.
+type Pending struct {
+	done chan struct{}
+	res  *ccsim.Result
+	err  error
+}
+
+// NewScheduler returns a scheduler running at most jobs simulations
+// concurrently (jobs <= 0 selects GOMAXPROCS). When metricsDir is
+// non-empty, every unique run writes its Result there as JSON, exactly
+// once, named by writeMetrics' encoding.
+func NewScheduler(jobs int, metricsDir string) *Scheduler {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{
+		jobs:       jobs,
+		metricsDir: metricsDir,
+		slots:      make(chan struct{}, jobs),
+		runs:       make(map[string]*Pending),
+	}
+}
+
+// Jobs returns the worker-pool size.
+func (s *Scheduler) Jobs() int { return s.jobs }
+
+// Unique returns how many distinct simulations have been submitted so far;
+// the difference against the number of Submit calls is the work the run
+// cache saved.
+func (s *Scheduler) Unique() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.unique
+}
+
+// Submit queues cfg for simulation and returns its handle immediately. A
+// configuration already submitted — by this experiment or any other
+// sharing the scheduler — returns the existing handle without a new run.
+// Configurations carrying side channels (TraceWriter, Telemetry) bypass
+// the cache: their runs are observable and must execute per submission.
+func (s *Scheduler) Submit(cfg ccsim.Config) *Pending {
+	key, cacheable := Fingerprint(cfg)
+	p := &Pending{done: make(chan struct{})}
+	if !cacheable {
+		go s.exec(p, cfg)
+		return p
+	}
+	s.mu.Lock()
+	if prev, ok := s.runs[key]; ok {
+		s.mu.Unlock()
+		return prev
+	}
+	s.runs[key] = p
+	s.unique++
+	s.mu.Unlock()
+	go s.exec(p, cfg)
+	return p
+}
+
+func (s *Scheduler) exec(p *Pending, cfg ccsim.Config) {
+	s.slots <- struct{}{}
+	defer func() { <-s.slots }()
+	p.res, p.err = ccsim.Run(cfg)
+	if p.err == nil && s.metricsDir != "" {
+		if werr := writeMetrics(s.metricsDir, cfg, p.res); werr != nil {
+			p.res, p.err = nil, werr
+		}
+	}
+	close(p.done)
+}
+
+// Wait blocks until the run completes and returns its result. The Result
+// is shared between all submitters of one configuration and must be
+// treated as read-only.
+func (p *Pending) Wait() (*ccsim.Result, error) {
+	<-p.done
+	return p.res, p.err
+}
+
+// Fingerprint canonicalizes cfg into the scheduler's cache key. The second
+// return is false when the configuration cannot be cached (it carries a
+// trace or telemetry side channel, so running it has observable effects
+// beyond the Result).
+func Fingerprint(cfg ccsim.Config) (string, bool) {
+	if cfg.TraceWriter != nil || cfg.Telemetry != nil {
+		return "", false
+	}
+	scale := cfg.Scale
+	if scale == 0 {
+		scale = 1.0 // Run applies the same default
+	}
+	e := cfg.Extensions
+	return fmt.Sprintf("%s|x%g|p%d|P%t|M%t|CW%t|SC%t|net%d|link%d|slc%d|ways%d|flwb%d|slwb%d|pfk%d|cwt%d|wcb%d|nack%t|dir%d|vd%t",
+		cfg.Workload, scale, cfg.Procs, e.P, e.M, e.CW, cfg.SC,
+		cfg.Net, cfg.LinkBits, cfg.SLCBlocks, cfg.SLCWays,
+		cfg.FLWBEntries, cfg.SLWBEntries,
+		cfg.PrefetchMaxK, cfg.CWThreshold, cfg.WriteCacheBlocks,
+		cfg.PrefetchNackDirty, cfg.DirPointers, cfg.VerifyData), true
+}

@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ccsim"
+)
+
+// schedGrid is a small but representative run grid: two workloads crossed
+// with protocol combinations, consistency models and both networks.
+func schedGrid() []ccsim.Config {
+	var grid []ccsim.Config
+	o := tiny()
+	for _, wl := range []string{"mp3d", "ocean"} {
+		for _, c := range Combos()[:4] {
+			cfg := o.config(wl)
+			cfg.Extensions = c.Ext
+			grid = append(grid, cfg)
+
+			mesh := cfg
+			mesh.Net = ccsim.Mesh
+			grid = append(grid, mesh)
+		}
+		sc := o.config(wl)
+		sc.SC = true
+		grid = append(grid, sc)
+	}
+	return grid
+}
+
+// TestSchedulerDeterminism is the parallelism regression gate: the same
+// grid simulated at 1 worker and at 8 workers must produce byte-identical
+// Result JSON for every cell.
+func TestSchedulerDeterminism(t *testing.T) {
+	grid := schedGrid()
+	collect := func(jobs int) [][]byte {
+		s := NewScheduler(jobs, "")
+		pends := make([]*Pending, len(grid))
+		for i, cfg := range grid {
+			pends[i] = s.Submit(cfg)
+		}
+		out := make([][]byte, len(grid))
+		for i, p := range pends {
+			r, err := p.Wait()
+			if err != nil {
+				t.Fatalf("jobs=%d cell %d: %v", jobs, i, err)
+			}
+			b, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = b
+		}
+		return out
+	}
+	seq := collect(1)
+	par := collect(8)
+	for i := range grid {
+		if string(seq[i]) != string(par[i]) {
+			t.Errorf("cell %d (%s): -jobs 1 and -jobs 8 results differ\nseq: %s\npar: %s",
+				i, grid[i].Workload, seq[i], par[i])
+		}
+	}
+}
+
+// TestSchedulerDedup checks the run cache: resubmitting a configuration
+// returns the original handle, and equivalent-but-not-identical
+// configurations (explicit defaults) share one run.
+func TestSchedulerDedup(t *testing.T) {
+	s := NewScheduler(2, "")
+	cfg := tiny().config("mp3d")
+	p1 := s.Submit(cfg)
+	p2 := s.Submit(cfg)
+	if p1 != p2 {
+		t.Fatal("identical configs got distinct runs")
+	}
+	// Scale 0 means 1.0 inside ccsim.Run; the fingerprint must agree.
+	a, b := cfg, cfg
+	a.Scale, b.Scale = 0, 1.0
+	ka, oka := Fingerprint(a)
+	kb, okb := Fingerprint(b)
+	if !oka || !okb || ka != kb {
+		t.Fatalf("scale 0 and 1.0 fingerprints differ: %q vs %q", ka, kb)
+	}
+	other := cfg
+	other.Extensions = ccsim.Ext{P: true}
+	if s.Submit(other) == p1 {
+		t.Fatal("distinct configs shared a run")
+	}
+	if got := s.Unique(); got != 2 {
+		t.Fatalf("Unique() = %d after 2 distinct configs", got)
+	}
+	if _, err := p1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerSharedAcrossExperiments verifies the cross-experiment reuse
+// the -exp all path relies on: Table 2's grid is a subset of Figure 2's,
+// so running Table 2 after Figure 2 on a shared scheduler adds no runs.
+func TestSchedulerSharedAcrossExperiments(t *testing.T) {
+	o := tiny()
+	o.Sched = NewScheduler(4, "")
+	if _, err := Figure2(o); err != nil {
+		t.Fatal(err)
+	}
+	after2 := o.Sched.Unique()
+	if _, err := Table2(o); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Sched.Unique(); got != after2 {
+		t.Fatalf("Table2 added %d runs beyond Figure2's grid", got-after2)
+	}
+	// Figure 4 shares the full RC grid too.
+	if _, err := Figure4(o); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Sched.Unique(); got != after2 {
+		t.Fatalf("Figure4 added %d runs beyond Figure2's grid", got-after2)
+	}
+}
+
+// TestSchedulerUncacheable checks that configurations with side channels
+// run once per submission instead of hitting the cache.
+func TestSchedulerUncacheable(t *testing.T) {
+	cfg := tiny().config("mp3d")
+	cfg.TraceWriter = discard{}
+	if _, ok := Fingerprint(cfg); ok {
+		t.Fatal("config with TraceWriter fingerprinted as cacheable")
+	}
+	s := NewScheduler(2, "")
+	if s.Submit(cfg) == s.Submit(cfg) {
+		t.Fatal("uncacheable submissions shared a run")
+	}
+	if got := s.Unique(); got != 0 {
+		t.Fatalf("uncacheable runs counted as unique: %d", got)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestFingerprintCoversConfig guards the fingerprint against new Config
+// fields silently aliasing distinct runs: every field that changes a
+// simulation must change the key.
+func TestFingerprintCoversConfig(t *testing.T) {
+	base := tiny().config("mp3d")
+	mutants := []func(*ccsim.Config){
+		func(c *ccsim.Config) { c.Workload = "ocean" },
+		func(c *ccsim.Config) { c.Scale = 0.5 },
+		func(c *ccsim.Config) { c.Procs = 4 },
+		func(c *ccsim.Config) { c.Extensions.P = true },
+		func(c *ccsim.Config) { c.Extensions.M = true },
+		func(c *ccsim.Config) { c.Extensions.CW = true },
+		func(c *ccsim.Config) { c.SC = true },
+		func(c *ccsim.Config) { c.Net = ccsim.Mesh },
+		func(c *ccsim.Config) { c.LinkBits = 16 },
+		func(c *ccsim.Config) { c.SLCBlocks = 512 },
+		func(c *ccsim.Config) { c.SLCWays = 2 },
+		func(c *ccsim.Config) { c.FLWBEntries = 4 },
+		func(c *ccsim.Config) { c.SLWBEntries = 4 },
+		func(c *ccsim.Config) { c.PrefetchMaxK = 3 },
+		func(c *ccsim.Config) { c.CWThreshold = 5 },
+		func(c *ccsim.Config) { c.WriteCacheBlocks = 8 },
+		func(c *ccsim.Config) { c.PrefetchNackDirty = true },
+		func(c *ccsim.Config) { c.DirPointers = 4 },
+		func(c *ccsim.Config) { c.VerifyData = true },
+	}
+	baseKey, ok := Fingerprint(base)
+	if !ok {
+		t.Fatal("base config not cacheable")
+	}
+	seen := map[string]int{baseKey: -1}
+	for i, mut := range mutants {
+		cfg := base
+		mut(&cfg)
+		key, ok := Fingerprint(cfg)
+		if !ok {
+			t.Fatalf("mutant %d not cacheable", i)
+		}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("mutant %d aliases mutant %d: %q", i, prev, key)
+		}
+		seen[key] = i
+	}
+}

@@ -38,33 +38,45 @@ func SensCache(o Options) ([]SensRow, error) {
 }
 
 func sensitivity(o Options, constrain func(*ccsim.Config)) ([]SensRow, error) {
-	var rows []SensRow
+	s := o.scheduler()
+	type cell struct {
+		wl       string
+		c        Combo
+		def, lim *Pending
+	}
+	var grid []cell
 	for _, wl := range ccsim.Workloads() {
-		var defBase, limBase *ccsim.Result
 		for _, c := range Combos() {
 			defCfg := o.config(wl)
 			defCfg.Extensions = c.Ext
-			def, err := o.run(defCfg)
-			if err != nil {
-				return nil, fmt.Errorf("sens %s/%s default: %w", wl, c.Name, err)
-			}
 			limCfg := o.config(wl)
 			limCfg.Extensions = c.Ext
 			constrain(&limCfg)
-			lim, err := o.run(limCfg)
-			if err != nil {
-				return nil, fmt.Errorf("sens %s/%s limited: %w", wl, c.Name, err)
-			}
-			if defBase == nil {
-				defBase, limBase = def, lim
-			}
-			rows = append(rows, SensRow{
-				Workload: wl,
-				Protocol: c.Name,
-				Default:  def.RelativeTo(defBase),
-				Limited:  lim.RelativeTo(limBase),
-			})
+			// The default half of every pair is Figure 2's grid; under a
+			// shared scheduler both sensitivity studies reuse those runs.
+			grid = append(grid, cell{wl, c, s.Submit(defCfg), s.Submit(limCfg)})
 		}
+	}
+	var rows []SensRow
+	var defBase, limBase *ccsim.Result
+	for i, g := range grid {
+		def, err := g.def.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("sens %s/%s default: %w", g.wl, g.c.Name, err)
+		}
+		lim, err := g.lim.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("sens %s/%s limited: %w", g.wl, g.c.Name, err)
+		}
+		if i%len(Combos()) == 0 {
+			defBase, limBase = def, lim
+		}
+		rows = append(rows, SensRow{
+			Workload: g.wl,
+			Protocol: g.c.Name,
+			Default:  def.RelativeTo(defBase),
+			Limited:  lim.RelativeTo(limBase),
+		})
 	}
 	return rows, nil
 }

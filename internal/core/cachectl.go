@@ -132,6 +132,9 @@ type CacheCtl struct {
 	wbData   map[memsys.Block]memsys.BlockData  // payloads of in-flight writebacks
 	wbMask   map[memsys.Block]memsys.WordMask
 
+	// jobFree recycles the pooled SLC-occupancy events; see slcJob.
+	jobFree []*slcJob
+
 	// Measurements.
 	Cls       *stats.Classifier
 	Misses    stats.Misses
@@ -289,8 +292,9 @@ func (c *CacheCtl) Read(a memsys.Addr, unblock func()) bool {
 	if c.statsOn() {
 		c.CStats.FLCReadMisses++
 	}
-	word := memsys.WordIndex(a)
-	c.slcRes.UsePipelined(c.sys.P.Timing.SLCCycle, c.sys.P.Timing.SLCAccess, func() { c.readSLC(b, word, unblock) })
+	j := c.getJob()
+	j.block, j.word, j.unblock = b, memsys.WordIndex(a), unblock
+	c.slcRes.UsePipelinedCall(c.sys.P.Timing.SLCCycle, c.sys.P.Timing.SLCAccess, runReadJob, j)
 	return false
 }
 
@@ -431,23 +435,29 @@ func (c *CacheCtl) drainFLWB() {
 		return
 	}
 	c.draining = true
-	c.slcRes.UsePipelined(c.sys.P.Timing.SLCCycle, c.sys.P.Timing.SLCAccess, func() {
-		w, _ := c.flwb.Peek()
-		if c.processWrite(w) {
-			c.flwb.Pop()
-			c.draining = false
-			if c.flwbWaiter != nil {
-				f := c.flwbWaiter
-				c.flwbWaiter = nil
-				f()
-			}
-			c.tryRelease()
-			c.drainFLWB()
-		} else {
-			// Stalled on an SLWB slot; pump() retries when one frees.
-			c.draining = false
+	c.slcRes.UsePipelinedCall(c.sys.P.Timing.SLCCycle, c.sys.P.Timing.SLCAccess, drainStep, c)
+}
+
+// drainStep performs the head FLWB write's SLC access (the continuation of
+// drainFLWB, scheduled through the pooled event path: its only context is
+// the controller itself).
+func drainStep(a any) {
+	c := a.(*CacheCtl)
+	w, _ := c.flwb.Peek()
+	if c.processWrite(w) {
+		c.flwb.Pop()
+		c.draining = false
+		if c.flwbWaiter != nil {
+			f := c.flwbWaiter
+			c.flwbWaiter = nil
+			f()
 		}
-	})
+		c.tryRelease()
+		c.drainFLWB()
+	} else {
+		// Stalled on an SLWB slot; pump() retries when one frees.
+		c.draining = false
+	}
 }
 
 // processWrite applies one buffered write at the SLC. It returns false when
@@ -669,23 +679,73 @@ func (c *CacheCtl) tryRelease() {
 
 // ---------- Message handling ----------
 
+// slcJob is one pooled SLC-occupancy event: either a delivered protocol
+// message awaiting its SLC access (handler != nil) or a blocked processor
+// read (handler == nil). Jobs recycle through CacheCtl.jobFree, so the two
+// hottest cache-controller scheduling patterns allocate nothing once warm.
+type slcJob struct {
+	c       *CacheCtl
+	handler func(*CacheCtl, *Msg)
+	m       *Msg
+
+	block   memsys.Block
+	word    int
+	unblock func()
+}
+
+func (c *CacheCtl) getJob() *slcJob {
+	if n := len(c.jobFree); n > 0 {
+		j := c.jobFree[n-1]
+		c.jobFree = c.jobFree[:n-1]
+		return j
+	}
+	return &slcJob{c: c}
+}
+
+func (c *CacheCtl) putJob(j *slcJob) {
+	j.handler, j.m, j.unblock = nil, nil, nil
+	c.jobFree = append(c.jobFree, j)
+}
+
+// runMsgJob completes a message's SLC access and runs its handler.
+func runMsgJob(a any) {
+	j := a.(*slcJob)
+	c, fn, m := j.c, j.handler, j.m
+	c.putJob(j)
+	fn(c, m)
+}
+
+// runReadJob completes a blocked read's SLC access.
+func runReadJob(a any) {
+	j := a.(*slcJob)
+	c, b, word, unblock := j.c, j.block, j.word, j.unblock
+	c.putJob(j)
+	c.readSLC(b, word, unblock)
+}
+
+// slcHandle schedules handler(c, m) after the SLC's pipelined access.
+func (c *CacheCtl) slcHandle(m *Msg, handler func(*CacheCtl, *Msg)) {
+	j := c.getJob()
+	j.handler, j.m = handler, m
+	t := c.sys.P.Timing
+	c.slcRes.UsePipelinedCall(t.SLCCycle, t.SLCAccess, runMsgJob, j)
+}
+
 // Handle processes one incoming coherence or synchronization message.
 func (c *CacheCtl) Handle(m *Msg) {
-	t := c.sys.P.Timing
-	slc := func(fn func()) { c.slcRes.UsePipelined(t.SLCCycle, t.SLCAccess, fn) }
 	switch m.Type {
 	case MsgReadReply:
-		slc(func() { c.onReadReply(m) })
+		c.slcHandle(m, (*CacheCtl).onReadReply)
 	case MsgOwnAck:
-		slc(func() { c.onOwnAck(m) })
+		c.slcHandle(m, (*CacheCtl).onOwnAck)
 	case MsgUpdateAck:
-		slc(func() { c.onUpdateAck(m) })
+		c.slcHandle(m, (*CacheCtl).onUpdateAck)
 	case MsgInv:
-		slc(func() { c.onInv(m) })
+		c.slcHandle(m, (*CacheCtl).onInv)
 	case MsgFwd:
-		slc(func() { c.onFwd(m) })
+		c.slcHandle(m, (*CacheCtl).onFwd)
 	case MsgUpdCopy:
-		slc(func() { c.onUpdCopy(m) })
+		c.slcHandle(m, (*CacheCtl).onUpdCopy)
 	case MsgPrefNack:
 		c.onPrefNack(m)
 	case MsgWBAck:

@@ -92,6 +92,9 @@ type HomeCtl struct {
 	MigratoryReverts                          uint64
 	ExclusiveSupplies                         uint64
 	StaleWritebacks                           uint64
+
+	// memFree recycles the pooled memory-access events; see memJob.
+	memFree []*memJob
 }
 
 func newHomeCtl(s *System, id int) *HomeCtl {
@@ -217,21 +220,49 @@ func (h *HomeCtl) process(m *Msg, e *dirEntry) {
 	e.txn = txMem
 	e.txnReq = m
 	// The request's queueing behind a busy entry ends here; the memory
-	// access it now performs ends at the handler below.
+	// access it now performs ends at memDone below.
 	h.sys.tmark(m.Txn, telemetry.PhaseDirWait)
-	h.sys.Eng.After(h.sys.P.Timing.MemAccess, func() {
-		h.sys.tmark(m.Txn, telemetry.PhaseMemory)
-		switch m.Type {
-		case MsgReadReq:
-			h.readReq(m, e)
-		case MsgOwnReq:
-			h.ownReq(m, e)
-		case MsgUpdateReq:
-			h.updateReq(m, e)
-		case MsgWBReq:
-			h.wbReq(m, e)
-		}
-	})
+	j := h.getMemJob()
+	j.m, j.e = m, e
+	h.sys.Eng.AfterCall(h.sys.P.Timing.MemAccess, memDone, j)
+}
+
+// memJob carries one request's memory access through the pooled event
+// path; jobs recycle through HomeCtl.memFree (every coherence request
+// schedules exactly one).
+type memJob struct {
+	h *HomeCtl
+	m *Msg
+	e *dirEntry
+}
+
+func (h *HomeCtl) getMemJob() *memJob {
+	if n := len(h.memFree); n > 0 {
+		j := h.memFree[n-1]
+		h.memFree = h.memFree[:n-1]
+		return j
+	}
+	return &memJob{h: h}
+}
+
+// memDone completes a request's memory access and dispatches it to the
+// directory handler for its type.
+func memDone(a any) {
+	j := a.(*memJob)
+	h, m, e := j.h, j.m, j.e
+	j.m, j.e = nil, nil
+	h.memFree = append(h.memFree, j)
+	h.sys.tmark(m.Txn, telemetry.PhaseMemory)
+	switch m.Type {
+	case MsgReadReq:
+		h.readReq(m, e)
+	case MsgOwnReq:
+		h.ownReq(m, e)
+	case MsgUpdateReq:
+		h.updateReq(m, e)
+	case MsgWBReq:
+		h.wbReq(m, e)
+	}
 }
 
 func (h *HomeCtl) finish(b memsys.Block, e *dirEntry) {

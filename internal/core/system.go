@@ -42,6 +42,10 @@ type System struct {
 	// point, and the violations found.
 	verSeq         map[memsys.Block]*memsys.BlockData
 	DataViolations []string
+
+	// hopFree recycles the per-message event-chain records Send schedules;
+	// see the hop type.
+	hopFree []*hop
 }
 
 // nextVersion serializes a write to (b, w) and returns its version.
@@ -150,28 +154,69 @@ func (s *System) busTime(m *Msg) sim.Time {
 	return s.P.Timing.BusCtl
 }
 
+// hop carries one in-flight message across its source bus -> network ->
+// destination bus event chain. Hops are recycled through System.hopFree, so
+// the per-message event chain — the hottest scheduling pattern in the
+// simulator — allocates nothing once the free list is warm.
+type hop struct {
+	s  *System
+	m  *Msg
+	bt sim.Time
+}
+
+func (s *System) getHop(m *Msg, bt sim.Time) *hop {
+	if n := len(s.hopFree); n > 0 {
+		h := s.hopFree[n-1]
+		s.hopFree = s.hopFree[:n-1]
+		h.m, h.bt = m, bt
+		return h
+	}
+	return &hop{s: s, m: m, bt: bt}
+}
+
+func (s *System) putHop(h *hop) {
+	h.m = nil
+	s.hopFree = append(s.hopFree, h)
+}
+
+// hopSrcBus runs when the message clears its source node's bus.
+func hopSrcBus(a any) {
+	h := a.(*hop)
+	s, m := h.s, h.m
+	if m.Src == m.Dst {
+		// Local: one bus transaction carries the message to the memory
+		// module or cache; no network involvement.
+		s.putHop(h)
+		s.dispatch(m)
+		return
+	}
+	if s.statsOn {
+		s.Traffic.Add(m.Class(), m.Size())
+	}
+	s.Net.SendCall(m.Src, m.Dst, m.Size(), hopArrive, h)
+}
+
+// hopArrive runs when the message's last byte reaches the destination node.
+func hopArrive(a any) {
+	h := a.(*hop)
+	h.s.Nodes[h.m.Dst].Bus.UseCall(h.bt, hopDstBus, h)
+}
+
+// hopDstBus runs when the message clears the destination node's bus.
+func hopDstBus(a any) {
+	h := a.(*hop)
+	s, m := h.s, h.m
+	s.putHop(h)
+	s.dispatch(m)
+}
+
 // Send transmits m from m.Src to m.Dst: across the source node's bus, then
 // the network (when the destination is remote), then the destination node's
 // bus, and finally dispatches it to the home or cache controller.
 func (s *System) Send(m *Msg) {
 	s.traceMsg(trace.MsgSend, m)
 	bt := s.busTime(m)
-	s.Nodes[m.Src].Bus.Use(bt, func() {
-		if m.Src == m.Dst {
-			// Local: one bus transaction carries the message to the memory
-			// module or cache; no network involvement.
-			s.dispatch(m)
-			return
-		}
-		if s.statsOn {
-			s.Traffic.Add(m.Class(), m.Size())
-		}
-		s.Net.Send(m.Src, m.Dst, m.Size(), func() {
-			s.Nodes[m.Dst].Bus.Use(bt, func() {
-				s.dispatch(m)
-			})
-		})
-	})
+	s.Nodes[m.Src].Bus.UseCall(bt, hopSrcBus, s.getHop(m, bt))
 }
 
 // arrivalPhase maps a delivered message to the span phase ending at its

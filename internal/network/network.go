@@ -26,6 +26,10 @@ type Net interface {
 	// delivers on the next event with no latency (the local case is
 	// handled by the node's bus, not the network).
 	Send(src, dst, bytes int, deliver func())
+	// SendCall is Send with the engine's static-function event form:
+	// deliver(arg) runs at arrival. Callers that pool arg transmit without
+	// allocating a closure per message.
+	SendCall(src, dst, bytes int, deliver func(any), arg any)
 	// Name identifies the network model for reports.
 	Name() string
 }
@@ -50,6 +54,15 @@ func (u *Uniform) Send(src, dst, bytes int, deliver func()) {
 	u.eng.After(u.latency, deliver)
 }
 
+// SendCall implements Net.
+func (u *Uniform) SendCall(src, dst, bytes int, deliver func(any), arg any) {
+	if src == dst {
+		u.eng.AfterCall(0, deliver, arg)
+		return
+	}
+	u.eng.AfterCall(u.latency, deliver, arg)
+}
+
 // Name implements Net.
 func (u *Uniform) Name() string { return fmt.Sprintf("uniform(%d)", u.latency) }
 
@@ -68,6 +81,9 @@ type Mesh struct {
 	// freeAt[l] is when directed link l is next free. Links are indexed by
 	// (from, to) pairs of adjacent nodes.
 	freeAt map[[2]int]sim.Time
+
+	// routeBuf is transit's reusable route scratch space.
+	routeBuf []int
 
 	// Statistics.
 	msgs      uint64
@@ -100,10 +116,14 @@ func (m *Mesh) node(x, y int) int   { return y*m.width + x }
 
 // Route returns the dimension-order (X then Y) route from src to dst as a
 // node sequence including both endpoints.
-func (m *Mesh) Route(src, dst int) []int {
+func (m *Mesh) Route(src, dst int) []int { return m.routeAppend(nil, src, dst) }
+
+// routeAppend appends the route to buf; transit passes a reused scratch
+// buffer so the per-message path allocates nothing once warm.
+func (m *Mesh) routeAppend(buf []int, src, dst int) []int {
 	x, y := m.xy(src)
 	dx, dy := m.xy(dst)
-	route := []int{src}
+	route := append(buf, src)
 	for x != dx {
 		if x < dx {
 			x++
@@ -138,8 +158,24 @@ func (m *Mesh) Send(src, dst, bytes int, deliver func()) {
 		m.eng.After(0, deliver)
 		return
 	}
+	m.eng.At(m.transit(src, dst, bytes), deliver)
+}
+
+// SendCall implements Net.
+func (m *Mesh) SendCall(src, dst, bytes int, deliver func(any), arg any) {
+	if src == dst {
+		m.eng.AfterCall(0, deliver, arg)
+		return
+	}
+	m.eng.AtCall(m.transit(src, dst, bytes), deliver, arg)
+}
+
+// transit reserves every link of the worm's route, updates the contention
+// statistics, and returns the absolute arrival time of the message's tail.
+func (m *Mesh) transit(src, dst, bytes int) sim.Time {
 	flits := sim.Time(m.Flits(bytes))
-	route := m.Route(src, dst)
+	m.routeBuf = m.routeAppend(m.routeBuf[:0], src, dst)
+	route := m.routeBuf
 	t := m.eng.Now()
 	for i := 0; i+1 < len(route); i++ {
 		link := [2]int{route[i], route[i+1]}
@@ -167,7 +203,7 @@ func (m *Mesh) Send(src, dst, bytes int, deliver func()) {
 	}
 	m.msgs++
 	// The tail arrives one flit time per body flit after the header.
-	m.eng.At(t+flits, deliver)
+	return t + flits
 }
 
 // Msgs returns the number of messages sent.

@@ -94,6 +94,11 @@ type Processor struct {
 	// a no-op sink).
 	Tele *telemetry.Collector
 
+	// stepFn is the step method value, bound once at construction: every
+	// operation schedules it, and rebinding per call would allocate a
+	// closure per simulated instruction.
+	stepFn func()
+
 	done     bool
 	doneTime sim.Time
 	// DoneHook is called when the stream is exhausted.
@@ -110,7 +115,7 @@ type Config struct {
 
 // New returns a processor ready to Start.
 func New(eng *sim.Engine, mem Memory, stream Stream, cfg Config) *Processor {
-	return &Processor{
+	p := &Processor{
 		ID:        cfg.ID,
 		eng:       eng,
 		mem:       mem,
@@ -119,10 +124,12 @@ func New(eng *sim.Engine, mem Memory, stream Stream, cfg Config) *Processor {
 		flcAccess: cfg.FLCAccess,
 		flcFill:   cfg.FLCFill,
 	}
+	p.stepFn = p.step
+	return p
 }
 
 // Start schedules the processor's first operation at the current time.
-func (p *Processor) Start() { p.eng.After(0, p.step) }
+func (p *Processor) Start() { p.eng.After(0, p.stepFn) }
 
 // Done reports whether the stream is exhausted.
 func (p *Processor) Done() bool { return p.done }
@@ -159,7 +166,7 @@ func (p *Processor) step() {
 	switch op.Kind {
 	case OpBusy:
 		p.busy(sim.Time(op.Cycles))
-		p.eng.After(sim.Time(op.Cycles), p.step)
+		p.eng.After(sim.Time(op.Cycles), p.stepFn)
 
 	case OpRead:
 		if p.statsOn {
@@ -175,11 +182,11 @@ func (p *Processor) step() {
 				p.Stats.ReadStall += int64(elapsed - p.flcAccess)
 			}
 			p.stall("read", start)
-			p.eng.After(p.flcFill, p.step)
+			p.eng.After(p.flcFill, p.stepFn)
 		})
 		if hit {
 			p.busy(p.flcAccess)
-			p.eng.After(p.flcAccess, p.step)
+			p.eng.After(p.flcAccess, p.stepFn)
 		}
 
 	case OpWrite:
@@ -196,7 +203,7 @@ func (p *Processor) step() {
 					p.Stats.WriteStall += int64(elapsed)
 				}
 				p.stall("write", start)
-				p.eng.After(p.flcAccess, p.step)
+				p.eng.After(p.flcAccess, p.stepFn)
 			})
 			return
 		}
@@ -207,11 +214,11 @@ func (p *Processor) step() {
 			}
 			p.stall("write", start)
 			p.busy(p.flcAccess)
-			p.eng.After(p.flcAccess, p.step)
+			p.eng.After(p.flcAccess, p.stepFn)
 		}, nil)
 		if accepted {
 			p.busy(p.flcAccess)
-			p.eng.After(p.flcAccess, p.step)
+			p.eng.After(p.flcAccess, p.stepFn)
 		}
 
 	case OpAcquire:
@@ -224,7 +231,7 @@ func (p *Processor) step() {
 				p.Stats.AcquireStall += int64(p.eng.Now() - start)
 			}
 			p.stall("acquire", start)
-			p.eng.After(0, p.step)
+			p.eng.After(0, p.stepFn)
 		})
 
 	case OpRelease:
@@ -237,11 +244,11 @@ func (p *Processor) step() {
 				p.Stats.ReleaseStall += int64(p.eng.Now() - start)
 			}
 			p.stall("release", start)
-			p.eng.After(0, p.step)
+			p.eng.After(0, p.stepFn)
 		})
 		if proceed {
 			p.busy(p.flcAccess)
-			p.eng.After(p.flcAccess, p.step)
+			p.eng.After(p.flcAccess, p.stepFn)
 		}
 
 	case OpBarrier:
@@ -254,13 +261,13 @@ func (p *Processor) step() {
 				p.Stats.BarrierStall += int64(p.eng.Now() - start)
 			}
 			p.stall("barrier", start)
-			p.eng.After(0, p.step)
+			p.eng.After(0, p.stepFn)
 		})
 
 	case OpStatsOn:
 		if p.StatsOnHook != nil {
 			p.StatsOnHook()
 		}
-		p.eng.After(0, p.step)
+		p.eng.After(0, p.stepFn)
 	}
 }

@@ -1,0 +1,108 @@
+package sim
+
+import "testing"
+
+// The engine's two event forms — closure (At/After/Use) and static
+// function + pooled argument (AtCall/AfterCall/UseCall) — are benchmarked
+// side by side. The closure form allocates once per event; the call form
+// amortizes to zero, which is what the simulator's hot paths (message hops,
+// SLC accesses, processor steps) rely on. BENCH_PR2.json records both so
+// regressions show up as allocs/op.
+
+// BenchmarkEngineClosureEvents schedules and drains events carrying a
+// capturing closure, the allocation-heavy form.
+func BenchmarkEngineClosureEvents(b *testing.B) {
+	eng := NewEngine()
+	n := 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := Time(i % 7)
+		eng.After(d, func() { n += int(d) })
+		if eng.Pending() >= 1024 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	if n < 0 {
+		b.Fatal("unreachable")
+	}
+}
+
+type benchArg struct{ n int }
+
+func benchStep(a any) { a.(*benchArg).n++ }
+
+// BenchmarkEngineCallEvents schedules and drains events through the
+// static-function form with a reused argument: the pooled pattern.
+func BenchmarkEngineCallEvents(b *testing.B) {
+	eng := NewEngine()
+	arg := &benchArg{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.AfterCall(Time(i%7), benchStep, arg)
+		if eng.Pending() >= 1024 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	if arg.n != b.N {
+		b.Fatalf("ran %d of %d events", arg.n, b.N)
+	}
+}
+
+// BenchmarkResourceUseClosure drives a contended resource with a closure
+// completion per reservation.
+func BenchmarkResourceUseClosure(b *testing.B) {
+	eng := NewEngine()
+	r := NewResource(eng, "bench")
+	n := 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Use(3, func() { n++ })
+		if eng.Pending() >= 1024 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	if n != b.N {
+		b.Fatalf("ran %d of %d completions", n, b.N)
+	}
+}
+
+// BenchmarkResourceUseCall drives the same pattern through UseCall with a
+// reused argument.
+func BenchmarkResourceUseCall(b *testing.B) {
+	eng := NewEngine()
+	r := NewResource(eng, "bench")
+	arg := &benchArg{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.UseCall(3, benchStep, arg)
+		if eng.Pending() >= 1024 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	if arg.n != b.N {
+		b.Fatalf("ran %d of %d completions", arg.n, b.N)
+	}
+}
+
+// BenchmarkResourceUsePipelinedCall exercises the pipelined variant the SLC
+// model uses on every access.
+func BenchmarkResourceUsePipelinedCall(b *testing.B) {
+	eng := NewEngine()
+	r := NewResource(eng, "bench")
+	arg := &benchArg{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.UsePipelinedCall(2, 6, benchStep, arg)
+		if eng.Pending() >= 1024 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	if arg.n != b.N {
+		b.Fatalf("ran %d of %d completions", arg.n, b.N)
+	}
+}

@@ -10,11 +10,18 @@ import "fmt"
 // Time is a point in simulated time, in pclocks.
 type Time int64
 
-// Event is a callback scheduled to run at a given simulated time.
+// Event is a callback scheduled to run at a given simulated time. Two
+// representations coexist: a plain closure (fn), and a static function plus
+// argument (call, arg). The second is the allocation-free form the hot
+// paths use — a package-level func(any) is a constant, and boxing a pointer
+// argument in an interface allocates nothing, so components can pool their
+// argument structs and schedule events without any per-event garbage.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	call func(any)
+	arg  any
 }
 
 // Engine is a discrete-event simulation kernel. The zero value is not ready
@@ -53,6 +60,20 @@ func (e *Engine) At(t Time, fn func()) {
 // After schedules fn to run d pclocks from now. d must be >= 0.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
+// AtCall schedules call(arg) to run at absolute time t. Unlike At it takes
+// a static function and an explicit argument, so callers that keep arg on a
+// free list schedule events without allocating a closure.
+func (e *Engine) AtCall(t Time, call func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d, before now %d", t, e.now))
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, call: call, arg: arg})
+}
+
+// AfterCall schedules call(arg) to run d pclocks from now. d must be >= 0.
+func (e *Engine) AfterCall(d Time, call func(any), arg any) { e.AtCall(e.now+d, call, arg) }
+
 // Step executes the single earliest pending event and reports whether one
 // was executed.
 func (e *Engine) Step() bool {
@@ -62,7 +83,11 @@ func (e *Engine) Step() bool {
 	ev := e.pop()
 	e.now = ev.at
 	e.nsteps++
-	ev.fn()
+	if ev.call != nil {
+		ev.call(ev.arg)
+	} else {
+		ev.fn()
+	}
 	return true
 }
 

@@ -91,6 +91,25 @@ func (r *Resource) UsePipelined(occupy, latency Time, done func()) Time {
 	return start
 }
 
+// UseCall is Use with the engine's static-function event form: done(arg)
+// runs at service completion. Callers that pool arg schedule the event with
+// zero allocations.
+func (r *Resource) UseCall(dur Time, done func(any), arg any) Time {
+	start := r.reserve(dur)
+	r.eng.AtCall(start+dur, done, arg)
+	return start
+}
+
+// UsePipelinedCall is UsePipelined with the static-function event form.
+func (r *Resource) UsePipelinedCall(occupy, latency Time, done func(any), arg any) Time {
+	if latency < occupy {
+		panic("sim: pipelined latency shorter than occupancy")
+	}
+	start := r.reserve(occupy)
+	r.eng.AtCall(start+latency, done, arg)
+	return start
+}
+
 // FreeAt returns the time at which the resource next becomes idle.
 func (r *Resource) FreeAt() Time { return r.freeAt }
 

@@ -1,11 +1,12 @@
 #!/bin/sh
 # Tier-1 verification: everything must build, vet clean, and pass the full
-# test suite; the event engine and telemetry collector additionally run
-# under the race detector (they are the pieces a future parallel driver
-# would share between goroutines). CI and `make verify` both run this.
+# test suite; the event engine, telemetry collector, and the parallel
+# experiment scheduler additionally run under the race detector (the
+# scheduler fans ccsim.Run calls across goroutines, so exp's tests are the
+# race-sensitive surface). CI and `make verify` both run this.
 set -eux
 
 go build ./...
 go vet ./...
 go test ./...
-go test -race -short ccsim/internal/sim ccsim/internal/telemetry
+go test -race -short ccsim/internal/sim ccsim/internal/telemetry ccsim/exp
