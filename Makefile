@@ -1,4 +1,4 @@
-.PHONY: verify test bench
+.PHONY: verify test bench chaos
 
 # Tier-1 gate: build + vet + full tests + race passes (sim, telemetry, exp).
 verify:
@@ -6,6 +6,12 @@ verify:
 
 test:
 	go test ./...
+
+# Randomized robustness sweep: every extension combo under both consistency
+# models and networks at seeded-random small scales, under the watchdog
+# with data verification on (see exp/chaos_test.go).
+chaos:
+	go test -run TestChaos -v -count=1 ./exp
 
 # Benchmarks, archived machine-readably: the raw go test output streams to
 # the terminal while cmd/benchjson writes the parsed results to

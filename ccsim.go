@@ -28,10 +28,12 @@ package ccsim
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
 
 	"ccsim/internal/core"
 	"ccsim/internal/machine"
 	"ccsim/internal/proc"
+	"ccsim/internal/sim"
 	"ccsim/internal/trace"
 	"ccsim/internal/workload"
 )
@@ -117,6 +119,29 @@ type Config struct {
 	// and utilization samples during the run (see NewTelemetry). Leave nil
 	// for zero overhead.
 	Telemetry *Telemetry
+
+	// MaxEvents aborts the run with a *SimFault once this many simulation
+	// events have executed (0 = no limit) — the watchdog's guard against
+	// runaway protocol activity.
+	MaxEvents uint64
+	// Deadline aborts the run with a *SimFault before simulated time
+	// passes this many pclocks (0 = no limit).
+	Deadline int64
+	// NoProgressEvents tunes the watchdog's livelock detector: abort after
+	// this many consecutive events without any processor retiring an
+	// operation. 0 selects the machine default (2M events).
+	NoProgressEvents uint64
+	// FlightRecorder sets the fault flight recorder's depth in protocol
+	// messages (0 = default 64, negative = disabled). The recorder's tail
+	// appears in every SimFault dump.
+	FlightRecorder int
+
+	// FaultInject, when it equals this run's "workload/protocol" identity
+	// (e.g. "mp3d/P+CW"), makes the simulation panic deliberately shortly
+	// after it starts. It exists to exercise the fault-containment path
+	// end to end: the panic surfaces as a *SimFault like any real protocol
+	// bug. Leave empty for normal runs.
+	FaultInject string
 }
 
 // DefaultConfig returns the paper's baseline: 16 processors, BASIC protocol
@@ -161,7 +186,18 @@ func (c Config) coreParams() core.Params {
 }
 
 func (c Config) machineConfig() machine.Config {
-	mc := machine.Config{Core: c.coreParams(), LinkBits: c.LinkBits, Tele: c.Telemetry}
+	mc := machine.Config{
+		Core:             c.coreParams(),
+		LinkBits:         c.LinkBits,
+		Tele:             c.Telemetry,
+		MaxEvents:        c.MaxEvents,
+		MaxTime:          sim.Time(c.Deadline),
+		NoProgressEvents: c.NoProgressEvents,
+		FlightRecorder:   c.FlightRecorder,
+	}
+	if c.FaultInject != "" && c.FaultInject == c.Workload+"/"+c.ProtocolName() {
+		mc.InjectPanic = true
+	}
 	if c.Net == Mesh {
 		mc.Net = machine.NetMesh
 	}
@@ -257,14 +293,22 @@ func RunStreams(cfg Config, streams []Stream) (*Result, error) {
 	return runStreams(cfg, adapted)
 }
 
-func runStreams(cfg Config, streams []proc.Stream) (*Result, error) {
-	m, err := machine.New(cfg.machineConfig(), streams)
-	if err != nil {
-		return nil, err
+func runStreams(cfg Config, streams []proc.Stream) (res *Result, err error) {
+	m, merr := machine.New(cfg.machineConfig(), streams)
+	if merr != nil {
+		return nil, merr
 	}
-	r, err := m.Run()
-	if err != nil {
-		return nil, err
+	// Contain protocol assertions: the simulator's internal invariants stay
+	// panics (DESIGN.md), but none escapes Run — a crash surfaces as a
+	// structured *SimFault with the dispatch context and machine snapshot.
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, m.Recovered(v, debug.Stack())
+		}
+	}()
+	r, rerr := m.Run()
+	if rerr != nil {
+		return nil, rerr
 	}
 	return convertResult(cfg, r), nil
 }

@@ -14,6 +14,13 @@
 //	ccsim -in lu.trace -ext P                    # replay a trace file
 //	ccsim -workload mp3d -json                   # machine-readable result
 //	ccsim -workload mp3d -timeline t.json        # Perfetto/Chrome trace timeline
+//	ccsim -workload mp3d -max-events 5000000000  # watchdog event ceiling
+//
+// A run that panics, deadlocks or exceeds a watchdog bound exits non-zero
+// with a structured fault dump on stderr: simulated time, faulting
+// component and message, pending transactions per cache, directory state,
+// blocked processors/locks/barriers, and the flight-recorder tail of
+// recent protocol messages.
 package main
 
 import (
@@ -69,6 +76,8 @@ func run() int {
 	traceAddrs := flag.String("traceaddrs", "", "comma-separated byte addresses restricting the trace")
 	jsonOut := flag.Bool("json", false, "print the full result as JSON instead of the text report")
 	timeline := flag.String("timeline", "", "write a Perfetto/Chrome trace-event timeline to this file")
+	maxEvents := flag.Uint64("max-events", 0, "abort after this many simulation events (0 = unlimited)")
+	deadline := flag.Int64("deadline", 0, "abort past this simulated time in pclocks (0 = unlimited)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -90,6 +99,8 @@ func run() int {
 	cfg.SLWBEntries = *slwb
 	cfg.LinkBits = *link
 	cfg.VerifyData = *verify
+	cfg.MaxEvents = *maxEvents
+	cfg.Deadline = *deadline
 	switch *netKind {
 	case "uniform":
 		cfg.Net = ccsim.Uniform
@@ -176,7 +187,13 @@ func run() int {
 		r, err = ccsim.Run(cfg)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		// A structured fault gets its full diagnostic dump — snapshot,
+		// blocked agents, flight-recorder tail; other errors print plainly.
+		if f, ok := ccsim.AsFault(err); ok {
+			f.Dump(os.Stderr)
+		} else {
+			fmt.Fprintln(os.Stderr, err)
+		}
 		return 1
 	}
 

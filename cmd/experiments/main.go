@@ -18,11 +18,18 @@
 //	experiments -jobs 8 ...         # simulate up to 8 configurations at once
 //	experiments -metrics out/ ...   # also write each run's result as JSON
 //	experiments -cpuprofile p.out   # write a runtime/pprof CPU profile
+//	experiments -max-events 5000000000  # watchdog: bound every run's events
+//	experiments -inject-fault mp3d/P+CW  # crash one run, prove containment
 //
 // All experiments of one invocation share a scheduler: a configuration
 // named by several experiments (every figure's BASIC baseline, Table 2's
 // subset of Figure 2's grid) simulates exactly once. Worker count changes
 // wall-clock time only — printed results are identical at any -jobs value.
+//
+// Sweeps are crash-contained: a run that panics, deadlocks or trips the
+// watchdog renders as a FAULT cell in its tables while every other cell
+// prints normally; the fault diagnostics go to stderr and the exit status
+// is non-zero.
 package main
 
 import (
@@ -30,8 +37,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
+	"ccsim"
 	"ccsim/exp"
 	"ccsim/internal/prof"
 )
@@ -46,6 +55,9 @@ func run() int {
 	metrics := flag.String("metrics", "", "write each run's full result as JSON into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	injectFault := flag.String("inject-fault", "", `crash the run matching "workload/protocol" (e.g. mp3d/P+CW) to exercise fault containment`)
+	maxEvents := flag.Uint64("max-events", 0, "abort any single run after this many events (0 = unlimited)")
+	deadline := flag.Int64("deadline", 0, "abort any single run past this simulated time in pclocks (0 = unlimited)")
 	flag.Parse()
 
 	stop, err := prof.Start(*cpuprofile, *memprofile)
@@ -56,7 +68,10 @@ func run() int {
 	defer stop()
 
 	sched := exp.NewScheduler(*jobs, *metrics)
-	o := exp.Options{Scale: *scale, Procs: *procs, MetricsDir: *metrics, Sched: sched}
+	o := exp.Options{
+		Scale: *scale, Procs: *procs, MetricsDir: *metrics, Sched: sched,
+		InjectFault: *injectFault, MaxEvents: *maxEvents, Deadline: *deadline,
+	}
 	runExp := func(name string, fn func() error) error {
 		t0 := time.Now()
 		fmt.Printf("==== %s (scale %g, %d processors) ====\n", name, o.Scale, o.Procs)
@@ -168,23 +183,60 @@ func run() int {
 
 	order := []string{"table1", "fig2", "table2", "fig3", "table3", "fig4", "sens-buffers", "sens-cache", "dir", "assoc", "scaling", "cost"}
 	if *which == "all" {
+		code := 0
 		for _, name := range order {
+			// A failed experiment doesn't stop the sweep: faulted runs render
+			// as FAULT cells and the rest of the tables still print.
 			if runExp(name, experiments[name]) != nil {
-				return 1
+				code = 1
 			}
 		}
 		// Stderr, not stdout: results must be byte-identical at any -jobs.
 		fmt.Fprintf(os.Stderr, "simulated %d unique configurations (%d workers)\n",
 			sched.Unique(), sched.Jobs())
-		return 0
+		if reportFaults(sched) {
+			code = 1
+		}
+		return code
 	}
 	fn, ok := experiments[*which]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; have %v and all\n", *which, order)
 		return 2
 	}
+	code := 0
 	if runExp(*which, fn) != nil {
-		return 1
+		code = 1
 	}
-	return 0
+	if reportFaults(sched) {
+		code = 1
+	}
+	return code
+}
+
+// reportFaults dumps every faulted run from the scheduler's ledger to
+// stderr — one summary line per run plus the structured SimFault dump when
+// there is one — and reports whether any run faulted. Everything goes to
+// stderr: FAULT cells aside, a sweep with faults prints the same stdout as
+// one without.
+func reportFaults(sched *exp.Scheduler) bool {
+	failed := sched.Failed()
+	if len(failed) == 0 {
+		return false
+	}
+	sort.Slice(failed, func(i, j int) bool {
+		a, b := failed[i].Cfg, failed[j].Cfg
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		return a.ProtocolName() < b.ProtocolName()
+	})
+	fmt.Fprintf(os.Stderr, "\n%d run(s) faulted:\n", len(failed))
+	for _, f := range failed {
+		fmt.Fprintf(os.Stderr, "FAULT %s/%s: %v\n", f.Cfg.Workload, f.Cfg.ProtocolName(), f.Err)
+		if sf, ok := ccsim.AsFault(f.Err); ok {
+			sf.Dump(os.Stderr)
+		}
+	}
+	return true
 }

@@ -9,12 +9,37 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"text/tabwriter"
 
 	"ccsim"
 )
+
+// Fault-tolerant sweeps: every experiment collects its grid with
+// Pending.Cell(), which yields nil for a faulted run instead of aborting
+// the sweep. A faulted cell's derived metrics become NaN — the sentinel
+// the Fprint helpers render as FAULT — and the fault itself sits in the
+// scheduler's Failed ledger for cmd/experiments to dump.
+
+// relCell returns r's execution time relative to base, or NaN when either
+// run faulted.
+func relCell(r, base *ccsim.Result) float64 {
+	if r == nil || base == nil || base.ExecTime == 0 {
+		return math.NaN()
+	}
+	return r.RelativeTo(base)
+}
+
+// cellf formats one numeric table cell, rendering the NaN fault sentinel
+// as FAULT.
+func cellf(format string, v float64) string {
+	if math.IsNaN(v) {
+		return "FAULT"
+	}
+	return fmt.Sprintf(format, v)
+}
 
 // Combo names one protocol-extension combination in the paper's order.
 type Combo struct {
@@ -61,6 +86,18 @@ type Options struct {
 	// any non-default machine parameters, so distinct configurations never
 	// collide.
 	MetricsDir string
+
+	// InjectFault, when non-empty, arms the deliberate panic in every run
+	// whose "workload/protocol" identity matches (ccsim.Config.FaultInject).
+	// Exactly the named cell faults; the sweep renders it as FAULT and
+	// completes the rest.
+	InjectFault string
+
+	// MaxEvents and Deadline, when non-zero, bound every run in the sweep
+	// (ccsim.Config fields of the same names). Exceeding either aborts the
+	// run with a SimFault instead of hanging the sweep.
+	MaxEvents uint64
+	Deadline  int64
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -71,6 +108,9 @@ func (o Options) config(wl string) ccsim.Config {
 	cfg.Workload = wl
 	cfg.Scale = o.Scale
 	cfg.Procs = o.Procs
+	cfg.FaultInject = o.InjectFault
+	cfg.MaxEvents = o.MaxEvents
+	cfg.Deadline = o.Deadline
 	return cfg
 }
 
@@ -161,23 +201,26 @@ func Figure2(o Options) ([]Fig2Row, error) {
 	var rows []Fig2Row
 	var base *ccsim.Result
 	for i, g := range grid {
-		r, err := g.pend.Wait()
-		if err != nil {
-			return nil, fmt.Errorf("fig2 %s/%s: %w", g.wl, g.c.Name, err)
-		}
+		r := g.pend.Cell()
 		if i%len(Combos()) == 0 { // first combo of each workload is the baseline
 			base = r
 		}
-		denom := float64(base.ExecTime) * float64(o.Procs)
-		rows = append(rows, Fig2Row{
+		row := Fig2Row{
 			Workload: g.wl,
 			Protocol: g.c.Name,
-			Relative: r.RelativeTo(base),
-			Busy:     float64(r.Busy) / denom,
-			Read:     float64(r.ReadStall) / denom,
-			Acquire:  float64(r.AcquireStall) / denom,
+			Relative: relCell(r, base),
+			Busy:     math.NaN(),
+			Read:     math.NaN(),
+			Acquire:  math.NaN(),
 			Result:   r,
-		})
+		}
+		if r != nil && base != nil && base.ExecTime != 0 {
+			denom := float64(base.ExecTime) * float64(o.Procs)
+			row.Busy = float64(r.Busy) / denom
+			row.Read = float64(r.ReadStall) / denom
+			row.Acquire = float64(r.AcquireStall) / denom
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -194,8 +237,9 @@ func FprintFigure2(w io.Writer, rows []Fig2Row) {
 		} else {
 			last = r.Workload
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\t%.3f\n",
-			name, r.Protocol, r.Relative, r.Busy, r.Read, r.Acquire)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			name, r.Protocol, cellf("%.3f", r.Relative), cellf("%.3f", r.Busy),
+			cellf("%.3f", r.Read), cellf("%.3f", r.Acquire))
 	}
 	tw.Flush()
 }
@@ -232,9 +276,10 @@ func Table2(o Options) ([]Table2Row, error) {
 	for _, wl := range ccsim.Workloads() {
 		row := Table2Row{Workload: wl, Cold: map[string]float64{}, Coh: map[string]float64{}}
 		for _, name := range Table2Protocols {
-			r, err := grid[wl][name].Wait()
-			if err != nil {
-				return nil, fmt.Errorf("table2 %s/%s: %w", wl, name, err)
+			r := grid[wl][name].Cell()
+			if r == nil {
+				row.Cold[name], row.Coh[name] = math.NaN(), math.NaN()
+				continue
 			}
 			row.Cold[name] = r.ColdMissRate()
 			row.Coh[name] = r.CoherenceMissRate()
@@ -255,7 +300,7 @@ func FprintTable2(w io.Writer, rows []Table2Row) {
 	for _, r := range rows {
 		fmt.Fprintf(tw, "%s", r.Workload)
 		for _, p := range Table2Protocols {
-			fmt.Fprintf(tw, "\t%.2f\t%.2f", r.Cold[p], r.Coh[p])
+			fmt.Fprintf(tw, "\t%s\t%s", cellf("%.2f", r.Cold[p]), cellf("%.2f", r.Coh[p]))
 		}
 		fmt.Fprintln(tw)
 	}
@@ -309,32 +354,37 @@ func Figure3(o Options) ([]Fig3Row, error) {
 	}
 	var rows []Fig3Row
 	for _, g := range grid {
-		basicRC, err := g.rc.Wait()
-		if err != nil {
-			return nil, fmt.Errorf("fig3 %s/BASIC-RC: %w", g.wl, err)
-		}
+		basicRC := g.rc.Cell()
 		var base *ccsim.Result
 		for i, c := range Figure3Protocols {
-			r, err := g.cells[i].Wait()
-			if err != nil {
-				return nil, fmt.Errorf("fig3 %s/%s: %w", g.wl, c.Name, err)
-			}
-			if base == nil {
+			r := g.cells[i].Cell()
+			if i == 0 {
 				base = r
 			}
-			denom := float64(base.ExecTime) * float64(o.Procs)
-			rows = append(rows, Fig3Row{
+			row := Fig3Row{
 				Workload:  g.wl,
 				Protocol:  c.Name,
-				Relative:  r.RelativeTo(base),
-				Busy:      float64(r.Busy) / denom,
-				Read:      float64(r.ReadStall) / denom,
-				Write:     float64(r.WriteStall) / denom,
-				Acquire:   float64(r.AcquireStall) / denom,
-				Release:   float64(r.ReleaseStall) / denom,
-				VsBasicRC: float64(r.ExecTime) / float64(basicRC.ExecTime),
+				Relative:  relCell(r, base),
+				Busy:      math.NaN(),
+				Read:      math.NaN(),
+				Write:     math.NaN(),
+				Acquire:   math.NaN(),
+				Release:   math.NaN(),
+				VsBasicRC: math.NaN(),
 				Result:    r,
-			})
+			}
+			if r != nil && base != nil && base.ExecTime != 0 {
+				denom := float64(base.ExecTime) * float64(o.Procs)
+				row.Busy = float64(r.Busy) / denom
+				row.Read = float64(r.ReadStall) / denom
+				row.Write = float64(r.WriteStall) / denom
+				row.Acquire = float64(r.AcquireStall) / denom
+				row.Release = float64(r.ReleaseStall) / denom
+			}
+			if r != nil && basicRC != nil && basicRC.ExecTime != 0 {
+				row.VsBasicRC = float64(r.ExecTime) / float64(basicRC.ExecTime)
+			}
+			rows = append(rows, row)
 		}
 	}
 	return rows, nil
@@ -352,8 +402,10 @@ func FprintFigure3(w io.Writer, rows []Fig3Row) {
 		} else {
 			last = r.Workload
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
-			name, r.Protocol, r.Relative, r.Busy, r.Read, r.Write, r.Acquire, r.Release, r.VsBasicRC)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			name, r.Protocol, cellf("%.3f", r.Relative), cellf("%.3f", r.Busy),
+			cellf("%.3f", r.Read), cellf("%.3f", r.Write), cellf("%.3f", r.Acquire),
+			cellf("%.3f", r.Release), cellf("%.3f", r.VsBasicRC))
 	}
 	tw.Flush()
 }
@@ -399,20 +451,9 @@ func Table3(o Options) ([]Table3Row, error) {
 		row := Table3Row{Workload: wl, PCW: map[int]float64{}, PM: map[int]float64{}}
 		for _, bits := range Table3LinkWidths {
 			c := grid[wl][bits]
-			base, err := c.base.Wait()
-			if err != nil {
-				return nil, fmt.Errorf("table3 %s/BASIC/%d: %w", wl, bits, err)
-			}
-			pcw, err := c.pcw.Wait()
-			if err != nil {
-				return nil, fmt.Errorf("table3 %s/P+CW/%d: %w", wl, bits, err)
-			}
-			pm, err := c.pm.Wait()
-			if err != nil {
-				return nil, fmt.Errorf("table3 %s/P+M/%d: %w", wl, bits, err)
-			}
-			row.PCW[bits] = pcw.RelativeTo(base)
-			row.PM[bits] = pm.RelativeTo(base)
+			base := c.base.Cell()
+			row.PCW[bits] = relCell(c.pcw.Cell(), base)
+			row.PM[bits] = relCell(c.pm.Cell(), base)
 		}
 		rows = append(rows, row)
 	}
@@ -436,7 +477,7 @@ func FprintTable3(w io.Writer, rows []Table3Row) {
 				if proto == "P+M" {
 					v = r.PM[bits]
 				}
-				fmt.Fprintf(tw, "\t%.2f", v)
+				fmt.Fprintf(tw, "\t%s", cellf("%.2f", v))
 			}
 			fmt.Fprintln(tw)
 		}
@@ -483,17 +524,18 @@ func Figure4(o Options) ([]Fig4Row, error) {
 	var rows []Fig4Row
 	var base *ccsim.Result
 	for i, g := range grid {
-		r, err := g.pend.Wait()
-		if err != nil {
-			return nil, fmt.Errorf("fig4 %s/%s: %w", g.wl, g.c.Name, err)
-		}
+		r := g.pend.Cell()
 		if i%len(Figure4Protocols) == 0 {
 			base = r
+		}
+		traffic := math.NaN()
+		if r != nil && base != nil {
+			traffic = r.TrafficRelativeTo(base)
 		}
 		rows = append(rows, Fig4Row{
 			Workload: g.wl,
 			Protocol: g.c.Name,
-			Traffic:  r.TrafficRelativeTo(base),
+			Traffic:  traffic,
 		})
 	}
 	return rows, nil
@@ -518,7 +560,7 @@ func FprintFigure4(w io.Writer, rows []Fig4Row) {
 	for _, wl := range order {
 		fmt.Fprintf(tw, "%s", wl)
 		for _, r := range byWl[wl] {
-			fmt.Fprintf(tw, "\t%.0f%%", 100*r.Traffic)
+			fmt.Fprintf(tw, "\t%s", cellf("%.0f%%", 100*r.Traffic))
 		}
 		fmt.Fprintln(tw)
 	}

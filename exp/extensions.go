@@ -22,6 +22,10 @@ type DirRow struct {
 	PCW        float64
 	Overflows  uint64
 	Broadcasts uint64
+	// Faulted marks a row whose BASIC run produced no Result, so the
+	// overflow and broadcast counts are meaningless (the relative columns
+	// carry NaN on their own).
+	Faulted bool
 }
 
 // DirPointerSweep lists the directory organizations DirectoryStudy sweeps:
@@ -55,25 +59,22 @@ func DirectoryStudy(o Options) ([]DirRow, error) {
 	var rows []DirRow
 	var fullBasic *ccsim.Result
 	for i, g := range grid {
-		basic, err := g.basic.Wait()
-		if err != nil {
-			return nil, fmt.Errorf("dir %s/%d: %w", g.wl, g.ptrs, err)
-		}
-		pcw, err := g.pcw.Wait()
-		if err != nil {
-			return nil, fmt.Errorf("dir %s/%d: %w", g.wl, g.ptrs, err)
-		}
+		basic, pcw := g.basic.Cell(), g.pcw.Cell()
 		if i%len(DirPointerSweep) == 0 {
 			fullBasic = basic
 		}
-		rows = append(rows, DirRow{
-			Workload:   g.wl,
-			Pointers:   g.ptrs,
-			Basic:      basic.RelativeTo(fullBasic),
-			PCW:        pcw.RelativeTo(fullBasic),
-			Overflows:  basic.PointerOverflows,
-			Broadcasts: basic.BroadcastInvs,
-		})
+		row := DirRow{
+			Workload: g.wl,
+			Pointers: g.ptrs,
+			Basic:    relCell(basic, fullBasic),
+			PCW:      relCell(pcw, fullBasic),
+			Faulted:  basic == nil,
+		}
+		if basic != nil {
+			row.Overflows = basic.PointerOverflows
+			row.Broadcasts = basic.BroadcastInvs
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -94,8 +95,12 @@ func FprintDirectory(w io.Writer, rows []DirRow) {
 		if r.Pointers > 0 {
 			dir = fmt.Sprintf("Dir%dB", r.Pointers)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%d\t%d\n",
-			name, dir, r.Basic, r.PCW, r.Overflows, r.Broadcasts)
+		counts := fmt.Sprintf("%d\t%d", r.Overflows, r.Broadcasts)
+		if r.Faulted {
+			counts = "FAULT\tFAULT"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n",
+			name, dir, cellf("%.3f", r.Basic), cellf("%.3f", r.PCW), counts)
 	}
 	tw.Flush()
 }
@@ -138,22 +143,15 @@ func AssociativityStudy(o Options) ([]AssocRow, error) {
 	var rows []AssocRow
 	var base *ccsim.Result
 	for i, g := range grid {
-		basic, err := g.basic.Wait()
-		if err != nil {
-			return nil, fmt.Errorf("assoc %s/%d: %w", g.wl, g.ways, err)
-		}
-		p, err := g.p.Wait()
-		if err != nil {
-			return nil, fmt.Errorf("assoc %s/%d: %w", g.wl, g.ways, err)
-		}
+		basic, p := g.basic.Cell(), g.p.Cell()
 		if i%len(AssocWays) == 0 {
 			base = basic
 		}
 		rows = append(rows, AssocRow{
 			Workload: g.wl,
 			Ways:     g.ways,
-			Basic:    basic.RelativeTo(base),
-			P:        p.RelativeTo(base),
+			Basic:    relCell(basic, base),
+			P:        relCell(p, base),
 		})
 	}
 	return rows, nil
@@ -171,7 +169,8 @@ func FprintAssoc(w io.Writer, rows []AssocRow) {
 		} else {
 			last = r.Workload
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\n", name, r.Ways, r.Basic, r.P)
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n", name, r.Ways,
+			cellf("%.3f", r.Basic), cellf("%.3f", r.P))
 	}
 	tw.Flush()
 }
@@ -216,22 +215,15 @@ func ScalingStudy(o Options) ([]ScaleRow, error) {
 	var rows []ScaleRow
 	var base *ccsim.Result
 	for i, g := range grid {
-		basic, err := g.basic.Wait()
-		if err != nil {
-			return nil, fmt.Errorf("scale %s/%d: %w", g.wl, g.procs, err)
-		}
-		pcw, err := g.pcw.Wait()
-		if err != nil {
-			return nil, fmt.Errorf("scale %s/%d: %w", g.wl, g.procs, err)
-		}
+		basic, pcw := g.basic.Cell(), g.pcw.Cell()
 		if i%len(ScaleProcs) == 0 {
 			base = basic
 		}
 		rows = append(rows, ScaleRow{
 			Workload: g.wl,
 			Procs:    g.procs,
-			Basic:    basic.RelativeTo(base),
-			PCW:      pcw.RelativeTo(base),
+			Basic:    relCell(basic, base),
+			PCW:      relCell(pcw, base),
 		})
 	}
 	return rows, nil
@@ -249,7 +241,8 @@ func FprintScaling(w io.Writer, rows []ScaleRow) {
 		} else {
 			last = r.Workload
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\n", name, r.Procs, r.Basic, r.PCW)
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n", name, r.Procs,
+			cellf("%.3f", r.Basic), cellf("%.3f", r.PCW))
 	}
 	tw.Flush()
 }
@@ -285,21 +278,17 @@ func CostPerformance(o Options, workloadName string) ([]CostRow, error) {
 		cfg.Extensions = c.Ext
 		grid = append(grid, cell{c, cfg, s.Submit(cfg)})
 	}
-	base, err := basePend.Wait()
-	if err != nil {
-		return nil, err
-	}
+	base := basePend.Cell()
 	baseBits := ccsim.ComputeStorage(baseCfg, slcFrames, memBlocks)
 	var rows []CostRow
 	for _, g := range grid {
-		r, err := g.pend.Wait()
-		if err != nil {
-			return nil, fmt.Errorf("cost %s/%s: %w", workloadName, g.c.Name, err)
-		}
+		r := g.pend.Cell()
+		// The storage side is pure arithmetic: it stays meaningful even
+		// when the run behind the performance side faulted.
 		extra := ccsim.ComputeStorage(g.cfg, slcFrames, memBlocks).ExtraBitsOver(baseBits)
 		row := CostRow{
 			Protocol:  g.c.Name,
-			Relative:  r.RelativeTo(base),
+			Relative:  relCell(r, base),
 			ExtraBits: extra,
 		}
 		if extra > 0 {
@@ -315,7 +304,8 @@ func FprintCost(w io.Writer, workloadName string, rows []CostRow) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "protocol\trelative (%s)\textra bits/node\tgain %%/kbit\n", workloadName)
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%.3f\t%d\t%.2f\n", r.Protocol, r.Relative, r.ExtraBits, r.GainPerKbit)
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\n", r.Protocol,
+			cellf("%.3f", r.Relative), r.ExtraBits, cellf("%.2f", r.GainPerKbit))
 	}
 	tw.Flush()
 }

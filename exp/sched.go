@@ -3,10 +3,16 @@ package exp
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"ccsim"
 )
+
+// runSim executes one simulation. A package variable so tests can
+// substitute a run that panics or fails without needing a real protocol
+// bug; production code never reassigns it.
+var runSim = ccsim.Run
 
 // Scheduler fans independent simulations out across a bounded pool of
 // goroutines and memoizes completed runs by configuration fingerprint, so
@@ -30,6 +36,16 @@ type Scheduler struct {
 	mu     sync.Mutex
 	runs   map[string]*Pending
 	unique uint64
+	failed []FailedRun
+}
+
+// FailedRun records one run that completed with an error — a contained
+// panic (a *ccsim.SimFault), a watchdog abort, or a metrics-write failure.
+// The sweep continues past it; cmd/experiments dumps the ledger at the end
+// and exits non-zero.
+type FailedRun struct {
+	Cfg ccsim.Config
+	Err error
 }
 
 // Pending is a handle to a submitted run; Wait blocks until it completes.
@@ -92,16 +108,42 @@ func (s *Scheduler) Submit(cfg ccsim.Config) *Pending {
 	return p
 }
 
+// Failed returns every run that completed with an error, in completion
+// order. The order depends on worker scheduling; callers wanting
+// deterministic output sort by configuration.
+func (s *Scheduler) Failed() []FailedRun {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]FailedRun(nil), s.failed...)
+}
+
 func (s *Scheduler) exec(p *Pending, cfg ccsim.Config) {
 	s.slots <- struct{}{}
 	defer func() { <-s.slots }()
-	p.res, p.err = ccsim.Run(cfg)
+	// done closes on every path — a panicking run must never leave Wait()
+	// callers hanging. Deferred before the recover handler so the handler
+	// has set p.err by the time done closes (LIFO order).
+	defer close(p.done)
+	defer func() {
+		if v := recover(); v != nil {
+			p.res = nil
+			p.err = fmt.Errorf("run panicked outside the simulation: %v\n%s", v, debug.Stack())
+		}
+		if p.err != nil {
+			s.mu.Lock()
+			s.failed = append(s.failed, FailedRun{Cfg: cfg, Err: p.err})
+			s.mu.Unlock()
+		}
+	}()
+	p.res, p.err = runSim(cfg)
 	if p.err == nil && s.metricsDir != "" {
 		if werr := writeMetrics(s.metricsDir, cfg, p.res); werr != nil {
-			p.res, p.err = nil, werr
+			// The simulation itself succeeded: keep the Result for
+			// in-process waiters and report the metrics failure as this
+			// run's error.
+			p.err = fmt.Errorf("metrics: %w", werr)
 		}
 	}
-	close(p.done)
 }
 
 // Wait blocks until the run completes and returns its result. The Result
@@ -110,6 +152,15 @@ func (s *Scheduler) exec(p *Pending, cfg ccsim.Config) {
 func (p *Pending) Wait() (*ccsim.Result, error) {
 	<-p.done
 	return p.res, p.err
+}
+
+// Cell resolves the run for one table cell of a fault-tolerant sweep: the
+// Result, or nil when the run faulted. The error itself is not lost — it
+// sits in the scheduler's Failed ledger. A run whose simulation succeeded
+// but whose metrics write failed still yields its Result here.
+func (p *Pending) Cell() *ccsim.Result {
+	r, _ := p.Wait()
+	return r
 }
 
 // Fingerprint canonicalizes cfg into the scheduler's cache key. The second
@@ -125,10 +176,11 @@ func Fingerprint(cfg ccsim.Config) (string, bool) {
 		scale = 1.0 // Run applies the same default
 	}
 	e := cfg.Extensions
-	return fmt.Sprintf("%s|x%g|p%d|P%t|M%t|CW%t|SC%t|net%d|link%d|slc%d|ways%d|flwb%d|slwb%d|pfk%d|cwt%d|wcb%d|nack%t|dir%d|vd%t",
+	return fmt.Sprintf("%s|x%g|p%d|P%t|M%t|CW%t|SC%t|net%d|link%d|slc%d|ways%d|flwb%d|slwb%d|pfk%d|cwt%d|wcb%d|nack%t|dir%d|vd%t|me%d|dl%d|np%d|inj%s",
 		cfg.Workload, scale, cfg.Procs, e.P, e.M, e.CW, cfg.SC,
 		cfg.Net, cfg.LinkBits, cfg.SLCBlocks, cfg.SLCWays,
 		cfg.FLWBEntries, cfg.SLWBEntries,
 		cfg.PrefetchMaxK, cfg.CWThreshold, cfg.WriteCacheBlocks,
-		cfg.PrefetchNackDirty, cfg.DirPointers, cfg.VerifyData), true
+		cfg.PrefetchNackDirty, cfg.DirPointers, cfg.VerifyData,
+		cfg.MaxEvents, cfg.Deadline, cfg.NoProgressEvents, cfg.FaultInject), true
 }

@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ccsim"
+)
+
+// withRunSim swaps the scheduler's simulation entry point for the test's
+// and restores it afterward.
+func withRunSim(t *testing.T, fn func(ccsim.Config) (*ccsim.Result, error)) {
+	t.Helper()
+	orig := runSim
+	runSim = fn
+	t.Cleanup(func() { runSim = orig })
+}
+
+// TestSchedulerWorkerPanicUnblocksWaiters is the Pending.done leak
+// regression test: a run that panics outside ccsim.Run's own recovery must
+// still complete every Wait() — with an error — instead of deadlocking
+// them.
+func TestSchedulerWorkerPanicUnblocksWaiters(t *testing.T) {
+	withRunSim(t, func(cfg ccsim.Config) (*ccsim.Result, error) {
+		panic("synthetic worker crash")
+	})
+	s := NewScheduler(2, "")
+	p := s.Submit(tiny().config("mp3d"))
+	const waiters = 8
+	errs := make([]error, waiters)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = p.Wait()
+		}(i)
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Wait() callers deadlocked after a worker panic")
+	}
+	for i, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "synthetic worker crash") {
+			t.Errorf("waiter %d: err = %v, want the panic surfaced", i, err)
+		}
+	}
+	failed := s.Failed()
+	if len(failed) != 1 || !strings.Contains(failed[0].Err.Error(), "synthetic worker crash") {
+		t.Errorf("fault ledger = %+v, want the one panicked run", failed)
+	}
+}
+
+// TestSchedulerSimFaultInLedger checks a contained simulation fault (not a
+// raw panic) lands in the ledger and nils only its own cell.
+func TestSchedulerSimFaultInLedger(t *testing.T) {
+	s := NewScheduler(4, "")
+	bad := tiny().config("mp3d")
+	bad.FaultInject = "mp3d/BASIC" // matches: this cell faults
+	good := tiny().config("mp3d")
+	good.Extensions = ccsim.Ext{P: true} // mp3d/P: untouched
+	pBad, pGood := s.Submit(bad), s.Submit(good)
+	if r := pBad.Cell(); r != nil {
+		t.Errorf("faulted run yielded a result: %+v", r)
+	}
+	if r := pGood.Cell(); r == nil {
+		t.Error("clean run's cell is nil")
+	}
+	_, err := pBad.Wait()
+	f, ok := ccsim.AsFault(err)
+	if !ok || f.Kind != ccsim.FaultPanic {
+		t.Fatalf("faulted cell's error = %v, want a contained panic SimFault", err)
+	}
+	failed := s.Failed()
+	if len(failed) != 1 || failed[0].Cfg.FaultInject == "" {
+		t.Errorf("fault ledger = %+v, want exactly the injected run", failed)
+	}
+}
+
+// TestSchedulerMetricsFailureKeepsResult is the satellite-6 regression: a
+// writeMetrics failure must surface as the run's error WITHOUT discarding
+// the computed Result for in-process waiters.
+func TestSchedulerMetricsFailureKeepsResult(t *testing.T) {
+	// A regular file where the metrics directory should be makes MkdirAll
+	// fail deterministically.
+	dir := t.TempDir()
+	blocked := filepath.Join(dir, "metrics")
+	if err := os.WriteFile(blocked, []byte("in the way"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(2, blocked)
+	p := s.Submit(tiny().config("mp3d"))
+	r, err := p.Wait()
+	if err == nil || !strings.Contains(err.Error(), "metrics") {
+		t.Fatalf("err = %v, want the metrics-write failure", err)
+	}
+	if r == nil {
+		t.Fatal("metrics-write failure discarded the computed Result")
+	}
+	if r.ExecTime <= 0 {
+		t.Fatalf("kept Result looks empty: %+v", r)
+	}
+	if p.Cell() == nil {
+		t.Fatal("Cell() dropped a Result that survived its metrics failure")
+	}
+	if len(s.Failed()) != 1 {
+		t.Fatalf("metrics failure missing from the fault ledger: %+v", s.Failed())
+	}
+}

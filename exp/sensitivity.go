@@ -60,22 +60,15 @@ func sensitivity(o Options, constrain func(*ccsim.Config)) ([]SensRow, error) {
 	var rows []SensRow
 	var defBase, limBase *ccsim.Result
 	for i, g := range grid {
-		def, err := g.def.Wait()
-		if err != nil {
-			return nil, fmt.Errorf("sens %s/%s default: %w", g.wl, g.c.Name, err)
-		}
-		lim, err := g.lim.Wait()
-		if err != nil {
-			return nil, fmt.Errorf("sens %s/%s limited: %w", g.wl, g.c.Name, err)
-		}
+		def, lim := g.def.Cell(), g.lim.Cell()
 		if i%len(Combos()) == 0 {
 			defBase, limBase = def, lim
 		}
 		rows = append(rows, SensRow{
 			Workload: g.wl,
 			Protocol: g.c.Name,
-			Default:  def.RelativeTo(defBase),
-			Limited:  lim.RelativeTo(limBase),
+			Default:  relCell(def, defBase),
+			Limited:  relCell(lim, limBase),
 		})
 	}
 	return rows, nil
@@ -93,7 +86,8 @@ func FprintSens(w io.Writer, rows []SensRow, limitedLabel string) {
 		} else {
 			last = r.Workload
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\n", name, r.Protocol, r.Default, r.Limited)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", name, r.Protocol,
+			cellf("%.3f", r.Default), cellf("%.3f", r.Limited))
 	}
 	tw.Flush()
 }

@@ -1,0 +1,33 @@
+package ccsim
+
+import (
+	"errors"
+
+	"ccsim/internal/fault"
+)
+
+// SimFault is the structured simulation failure Run returns when a run
+// crashes or the watchdog aborts it: simulated time, faulting component,
+// the protocol message being handled, the panic stack, and a diagnostic
+// snapshot (pending transactions, directory state, blocked agents, flight
+// recorder). Its Dump method renders the full report.
+type SimFault = fault.SimFault
+
+// Fault kinds a SimFault carries (SimFault.Kind).
+const (
+	FaultPanic     = fault.KindPanic
+	FaultMaxEvents = fault.KindMaxEvents
+	FaultDeadline  = fault.KindDeadline
+	FaultDeadlock  = fault.KindDeadlock
+	FaultLivelock  = fault.KindLivelock
+)
+
+// AsFault extracts the *SimFault from an error returned by Run (directly
+// or wrapped), if there is one.
+func AsFault(err error) (*SimFault, bool) {
+	var f *SimFault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ccsim/internal/fault"
 	"ccsim/internal/memsys"
 	"ccsim/internal/network"
 	"ccsim/internal/sim"
@@ -36,6 +37,19 @@ type System struct {
 	// Tele, when non-nil, collects transaction spans, stall intervals and
 	// utilization samples. A nil collector is a no-op on every path.
 	Tele *telemetry.Collector
+
+	// Rec is the fault flight recorder: a fixed ring of the last protocol
+	// messages, dumped with a SimFault. A nil recorder is a free no-op.
+	Rec *fault.Recorder
+
+	// Dispatch context: the protocol message most recently delivered to a
+	// controller. A panic inside a handler is attributed to this message
+	// (plain value fields — maintaining them costs no allocation).
+	lastType   MsgType
+	lastBlock  memsys.Block
+	lastDst    int
+	lastToHome bool
+	lastValid  bool
 
 	// Data-value verification state (Params.VerifyData): a per-word version
 	// counter per block, advanced at each write's global serialization
@@ -215,6 +229,7 @@ func hopDstBus(a any) {
 // bus, and finally dispatches it to the home or cache controller.
 func (s *System) Send(m *Msg) {
 	s.traceMsg(trace.MsgSend, m)
+	s.Rec.Record(int64(s.Eng.Now()), "send", m.Type.String(), uint64(m.Block), m.Src, m.Dst)
 	bt := s.busTime(m)
 	s.Nodes[m.Src].Bus.UseCall(bt, hopSrcBus, s.getHop(m, bt))
 }
@@ -241,6 +256,9 @@ func arrivalPhase(t MsgType) (telemetry.Phase, bool) {
 
 func (s *System) dispatch(m *Msg) {
 	s.traceMsg(trace.MsgDeliver, m)
+	s.Rec.Record(int64(s.Eng.Now()), "recv", m.Type.String(), uint64(m.Block), m.Src, m.Dst)
+	s.lastType, s.lastBlock, s.lastDst, s.lastToHome, s.lastValid =
+		m.Type, m.Block, m.Dst, m.toHome(), true
 	if m.Txn != 0 && s.Tele != nil {
 		if ph, ok := arrivalPhase(m.Type); ok {
 			s.Tele.Mark(m.Txn, ph, int64(s.Eng.Now()))

@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestErrorSummary(t *testing.T) {
+	f := &SimFault{
+		Kind: KindPanic, Time: 1234, Component: "cache 3",
+		MsgKind: "ReadReply", Block: 42, HasBlock: true,
+		Message: "fill without mshr",
+	}
+	got := f.Error()
+	for _, want := range []string{"panic", "t=1234", "cache 3", "ReadReply", "block 42", "fill without mshr"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Error() = %q, missing %q", got, want)
+		}
+	}
+}
+
+func TestDumpSections(t *testing.T) {
+	f := &SimFault{
+		Kind: KindDeadlock, Time: 99, Steps: 1000,
+		Message: "queue empty, 2 processors blocked",
+		Snapshot: &Snapshot{
+			Caches: []CacheState{{Node: 1, SLWBUsed: 2, Pending: []string{"block 7: read (1 readers)"}}},
+			Dir: &DirState{Block: 7, Home: 0, State: "MODIFIED", Owner: 1,
+				Presence: 0b10, Busy: true, Txn: "fwd", Deferred: 3},
+			Resources:    []ResourceState{{Name: "bus1", Depth: 2}},
+			Blocked:      []string{"proc 0 waiting for lock 9"},
+			Messages:     []Record{{At: 80, Op: "send", Kind: "ReadReq", Block: 7, Src: 0, Dst: 1}},
+			MessagesSeen: 500,
+		},
+	}
+	var b strings.Builder
+	f.Dump(&b)
+	got := b.String()
+	for _, want := range []string{
+		"SIMULATION FAULT (deadlock)", "99 pclocks", "1000 events",
+		"cache 1", "block 7: read", "MODIFIED owner 1", "BUSY(fwd)", "deferred 3",
+		"bus1: depth 2", "proc 0 waiting for lock 9",
+		"last 1 of 500 messages", "ReadReq", "END FAULT",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Dump missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(int64(i), "send", "ReadReq", uint64(i), i, 0)
+	}
+	tail := r.Tail()
+	if len(tail) != 4 {
+		t.Fatalf("tail length %d, want 4", len(tail))
+	}
+	for i, rec := range tail {
+		if want := int64(6 + i); rec.At != want {
+			t.Errorf("tail[%d].At = %d, want %d (oldest first)", i, rec.At, want)
+		}
+	}
+	if r.Seen() != 10 {
+		t.Errorf("Seen() = %d, want 10", r.Seen())
+	}
+}
+
+func TestRecorderPartial(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(1, "send", "Inv", 5, 0, 1)
+	r.Record(2, "recv", "Inv", 5, 0, 1)
+	tail := r.Tail()
+	if len(tail) != 2 || tail[0].At != 1 || tail[1].At != 2 {
+		t.Fatalf("partial tail wrong: %+v", tail)
+	}
+}
+
+func TestRecorderNil(t *testing.T) {
+	var r *Recorder // disabled
+	r.Record(1, "send", "Inv", 5, 0, 1)
+	if r.Tail() != nil || r.Seen() != 0 {
+		t.Fatal("nil recorder must be a no-op")
+	}
+	if NewRecorder(0) != nil {
+		t.Fatal("NewRecorder(0) must return the nil no-op recorder")
+	}
+}
+
+func TestRecorderZeroAlloc(t *testing.T) {
+	r := NewRecorder(64)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Record(1, "send", "ReadReq", 7, 0, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v times per call, want 0", allocs)
+	}
+	var nilRec *Recorder
+	allocs = testing.AllocsPerRun(100, func() {
+		nilRec.Record(1, "send", "ReadReq", 7, 0, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Record allocates %v times per call, want 0", allocs)
+	}
+}

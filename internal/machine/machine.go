@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"ccsim/internal/core"
+	"ccsim/internal/fault"
 	"ccsim/internal/network"
 	"ccsim/internal/proc"
 	"ccsim/internal/sim"
@@ -32,8 +33,28 @@ type Config struct {
 	Net      NetKind
 	LinkBits int // mesh link width in bits (64/32/16)
 
-	// MaxTime aborts runaway simulations (0 = no limit).
+	// MaxTime aborts runaway simulations past this simulated time
+	// (0 = no limit); the watchdog reports the abort as a deadline fault.
 	MaxTime sim.Time
+
+	// MaxEvents aborts runs executing more than this many events
+	// (0 = no limit).
+	MaxEvents uint64
+
+	// NoProgressEvents is the livelock threshold: abort when this many
+	// consecutive events execute without any processor retiring an
+	// operation. 0 selects DefaultNoProgressEvents; negative values are not
+	// representable — use MaxEvents to bound a run outright.
+	NoProgressEvents uint64
+
+	// FlightRecorder is the fault flight recorder's depth in protocol
+	// messages. 0 selects DefaultFlightRecorder; negative disables it.
+	FlightRecorder int
+
+	// InjectPanic deliberately panics inside the simulation shortly after
+	// it starts — the chaos hook behind cmd/experiments -inject-fault,
+	// exercising the whole fault-containment path on demand.
+	InjectPanic bool
 
 	// Tracer, when non-nil, receives protocol events.
 	Tracer *trace.Tracer
@@ -48,6 +69,18 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{Core: core.DefaultParams(), Net: NetUniform, LinkBits: 64}
 }
+
+// DefaultNoProgressEvents is the livelock threshold when the config leaves
+// it zero. Legitimate no-progress spans are bounded by a few protocol
+// round trips per processor (tens of events each); two million events
+// without one operation retiring is orders of magnitude past any legal
+// window at the paper's machine sizes.
+const DefaultNoProgressEvents = 2_000_000
+
+// DefaultFlightRecorder is the flight recorder's depth when the config
+// leaves it zero: enough history to see the message pattern around a
+// fault without bloating dumps.
+const DefaultFlightRecorder = 64
 
 // Machine is an assembled simulation.
 type Machine struct {
@@ -93,6 +126,12 @@ func New(cfg Config, streams []proc.Stream) (*Machine, error) {
 	}
 	sys.Tracer = cfg.Tracer
 	sys.Tele = cfg.Tele
+	if depth := cfg.FlightRecorder; depth >= 0 {
+		if depth == 0 {
+			depth = DefaultFlightRecorder
+		}
+		sys.Rec = fault.NewRecorder(depth)
+	}
 	m := &Machine{Cfg: cfg, Eng: eng, Sys: sys, Net: net}
 	// Measurement starts at the workloads' StatsOn marker.
 	sys.SetStatsEnabled(false)
@@ -142,8 +181,10 @@ func (m *Machine) onStatsOn() {
 }
 
 // Run executes the simulation to completion (all streams exhausted and all
-// protocol activity drained), verifies the coherence invariants, and
-// returns the collected results.
+// protocol activity drained) under the watchdog, verifies the coherence
+// invariants, and returns the collected results. A watchdog abort —
+// runaway event count, deadline, deadlock, livelock — returns a
+// *fault.SimFault carrying the machine's diagnostic snapshot.
 func (m *Machine) Run() (*Result, error) {
 	for _, p := range m.Procs {
 		p.Start()
@@ -151,20 +192,27 @@ func (m *Machine) Run() (*Result, error) {
 	if m.Cfg.Tele != nil {
 		m.Cfg.Tele.StartSampler(m.Eng)
 	}
-	if m.Cfg.MaxTime > 0 {
-		m.Eng.RunWhile(func() bool { return m.Eng.Now() <= m.Cfg.MaxTime })
-		if m.Eng.Now() > m.Cfg.MaxTime {
-			return nil, fmt.Errorf("machine: exceeded MaxTime %d at %d events", m.Cfg.MaxTime, m.Eng.Steps())
+	if m.Cfg.InjectPanic {
+		m.Eng.After(1000, func() { panic("machine: deliberate fault injection") })
+	}
+	np := m.Cfg.NoProgressEvents
+	if np == 0 {
+		np = DefaultNoProgressEvents
+	}
+	wd := &sim.Watchdog{
+		MaxEvents:        m.Cfg.MaxEvents,
+		Deadline:         m.Cfg.MaxTime,
+		NoProgressEvents: np,
+		Quiesced: func() bool {
+			return m.doneCount == len(m.Procs) && m.Sys.Quiesced()
+		},
+		Blocked: m.blockedAgents,
+	}
+	if f := m.Eng.RunWatched(wd); f != nil {
+		if snap := m.faultSnapshot(f.Block, f.HasBlock); snap != nil {
+			f.Snapshot = snap
 		}
-	} else {
-		m.Eng.Run()
-	}
-	if m.doneCount != len(m.Procs) {
-		return nil, fmt.Errorf("machine: deadlock — %d of %d processors finished, %d events pending",
-			m.doneCount, len(m.Procs), m.Eng.Pending())
-	}
-	if !m.Sys.Quiesced() {
-		return nil, fmt.Errorf("machine: protocol not quiesced at end of run")
+		return nil, f
 	}
 	if err := m.Sys.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("machine: invariant violation: %w", err)
@@ -177,6 +225,53 @@ func (m *Machine) Run() (*Result, error) {
 		return nil, fmt.Errorf("machine: workload never emitted StatsOn")
 	}
 	return m.collect(), nil
+}
+
+// Recovered converts a panic recovered during this machine's run into a
+// structured SimFault: the panic value, the dispatch context (which
+// controller was handling which protocol message), the Go stack, and the
+// machine's diagnostic snapshot.
+func (m *Machine) Recovered(v any, stack []byte) *fault.SimFault {
+	f := &fault.SimFault{
+		Kind:      fault.KindPanic,
+		Time:      int64(m.Eng.Now()),
+		Steps:     m.Eng.Steps(),
+		Component: "machine",
+		Message:   fmt.Sprint(v),
+		Stack:     stack,
+	}
+	if comp, kind, b, ok := m.Sys.LastDispatch(); ok {
+		f.Component, f.MsgKind, f.Block, f.HasBlock = comp, kind, uint64(b), true
+	}
+	f.Snapshot = m.faultSnapshot(f.Block, f.HasBlock)
+	return f
+}
+
+// blockedAgents names everything still blocked: processors whose streams
+// have not finished, plus the synchronization fabric's view (locks,
+// barriers, pending reads).
+func (m *Machine) blockedAgents() []string {
+	var out []string
+	for _, p := range m.Procs {
+		if !p.Done() {
+			out = append(out, fmt.Sprintf("proc %d (stream unfinished)", p.ID))
+		}
+	}
+	return append(out, m.Sys.BlockedSync()...)
+}
+
+// faultSnapshot captures the diagnostic snapshot, shielding the fault path
+// itself: a machine inconsistent enough to panic while snapshotting
+// reports the fault without one rather than crashing the report.
+func (m *Machine) faultSnapshot(block uint64, hasBlock bool) (snap *fault.Snapshot) {
+	defer func() {
+		if recover() != nil {
+			snap = nil
+		}
+	}()
+	snap = m.Sys.FaultSnapshot(block, hasBlock)
+	snap.Blocked = m.blockedAgents()
+	return snap
 }
 
 func (m *Machine) collect() *Result {

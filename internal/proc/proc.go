@@ -154,6 +154,9 @@ func (p *Processor) stall(kind string, from sim.Time) {
 }
 
 func (p *Processor) step() {
+	// Reaching step means the previous operation retired — the forward
+	// progress the watchdog's livelock detector watches for.
+	p.eng.Progress()
 	op, ok := p.stream.Next()
 	if !ok {
 		p.done = true

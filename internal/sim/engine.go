@@ -31,6 +31,10 @@ type Engine struct {
 	seq    uint64
 	heap   []event
 	nsteps uint64
+
+	// progressAt is the step count at the last Progress() call; RunWatched's
+	// livelock detector measures event activity against it.
+	progressAt uint64
 }
 
 // NewEngine returns an engine with an empty event queue at time 0.
@@ -46,6 +50,12 @@ func (e *Engine) Steps() uint64 { return e.nsteps }
 
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// Progress marks forward progress at the agent level (a processor retiring
+// an operation). The watchdog's livelock detector counts events since the
+// last mark; protocol chatter that never lets any processor advance trips
+// it. Calling it costs one store.
+func (e *Engine) Progress() { e.progressAt = e.nsteps }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a bug in a component's timing arithmetic.

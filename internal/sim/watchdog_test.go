@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"ccsim/internal/fault"
+)
+
+// TestWatchdogMaxEvents runs a self-perpetuating event chain into the
+// event ceiling and checks the fault blames it.
+func TestWatchdogMaxEvents(t *testing.T) {
+	e := NewEngine()
+	var tick func()
+	tick = func() { e.After(1, tick) }
+	e.After(0, tick)
+	f := e.RunWatched(&Watchdog{MaxEvents: 100})
+	if f == nil {
+		t.Fatal("runaway event chain completed under a 100-event ceiling")
+	}
+	if f.Kind != fault.KindMaxEvents {
+		t.Fatalf("fault kind %q, want %q", f.Kind, fault.KindMaxEvents)
+	}
+	if e.Steps() != 100 {
+		t.Fatalf("executed %d events before aborting, want exactly 100", e.Steps())
+	}
+}
+
+// TestWatchdogDeadlock models two agents each waiting for the other's
+// signal: the queue drains without quiescence, and the fault must name
+// both stuck agents.
+func TestWatchdogDeadlock(t *testing.T) {
+	e := NewEngine()
+	// Agent A grabs resource 1, agent B grabs resource 2; each then requests
+	// the other's resource and parks its continuation in a wait list that
+	// nothing will ever service — the classic ABBA deadlock, reduced to the
+	// engine's view: activity, then an empty queue with both agents blocked.
+	holder := map[int]string{}
+	waiting := map[string]int{}
+	grab := func(who string, res int) func() {
+		return func() {
+			if _, held := holder[res]; held {
+				waiting[who] = res // parked forever: no release event exists
+				return
+			}
+			holder[res] = who
+		}
+	}
+	e.After(0, grab("A", 1))
+	e.After(0, grab("B", 2))
+	e.After(1, grab("A", 2))
+	e.After(1, grab("B", 1))
+	f := e.RunWatched(&Watchdog{
+		Quiesced: func() bool { return len(waiting) == 0 },
+		Blocked: func() []string {
+			return []string{"agent A waiting for resource 2", "agent B waiting for resource 1"}
+		},
+	})
+	if f == nil {
+		t.Fatal("deadlocked run reported as complete")
+	}
+	if f.Kind != fault.KindDeadlock {
+		t.Fatalf("fault kind %q, want %q", f.Kind, fault.KindDeadlock)
+	}
+	for _, agent := range []string{"agent A waiting for resource 2", "agent B waiting for resource 1"} {
+		if !strings.Contains(f.Message, agent) {
+			t.Errorf("fault message %q does not name %q", f.Message, agent)
+		}
+	}
+	if f.Snapshot == nil || len(f.Snapshot.Blocked) != 2 {
+		t.Errorf("fault snapshot missing the blocked-agent list: %+v", f.Snapshot)
+	}
+}
+
+// TestWatchdogLivelock ping-pongs events without ever marking progress and
+// checks the no-progress detector fires.
+func TestWatchdogLivelock(t *testing.T) {
+	e := NewEngine()
+	var a, b func()
+	a = func() { e.After(1, b) }
+	b = func() { e.After(1, a) }
+	e.After(0, a)
+	f := e.RunWatched(&Watchdog{
+		NoProgressEvents: 50,
+		Blocked:          func() []string { return []string{"proc 7 spinning on block 3"} },
+	})
+	if f == nil || f.Kind != fault.KindLivelock {
+		t.Fatalf("fault = %v, want kind %q", f, fault.KindLivelock)
+	}
+	if !strings.Contains(f.Message, "proc 7 spinning on block 3") {
+		t.Errorf("livelock fault does not name the spinning agent: %q", f.Message)
+	}
+}
+
+// TestWatchdogProgressDefersLivelock interleaves Progress marks into the
+// same ping-pong; the detector must then never fire.
+func TestWatchdogProgressDefersLivelock(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var a func()
+	a = func() {
+		e.Progress()
+		if n++; n < 500 {
+			e.After(1, a)
+		}
+	}
+	e.After(0, a)
+	if f := e.RunWatched(&Watchdog{NoProgressEvents: 50}); f != nil {
+		t.Fatalf("progressing run tripped the livelock detector: %v", f)
+	}
+}
+
+// TestWatchdogDeadline checks the simulated-time ceiling aborts before
+// executing events beyond it.
+func TestWatchdogDeadline(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(10, func() {})
+	e.After(1000, func() { ran = true })
+	f := e.RunWatched(&Watchdog{Deadline: 500})
+	if f == nil || f.Kind != fault.KindDeadline {
+		t.Fatalf("fault = %v, want kind %q", f, fault.KindDeadline)
+	}
+	if ran {
+		t.Fatal("event beyond the deadline executed")
+	}
+	if !strings.Contains(f.Message, "500") || !strings.Contains(f.Message, "1000") {
+		t.Errorf("deadline fault should report ceiling and next event time: %q", f.Message)
+	}
+}
+
+// TestWatchdogCleanRun drives a normal program under tight-but-sufficient
+// limits: no fault, every event executed.
+func TestWatchdogCleanRun(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	var step func()
+	step = func() {
+		e.Progress()
+		if ran++; ran < 20 {
+			e.After(5, step)
+		}
+	}
+	e.After(0, step)
+	done := false
+	f := e.RunWatched(&Watchdog{
+		MaxEvents:        25,  // 20 needed
+		Deadline:         100, // last event at t=95
+		NoProgressEvents: 3,   // every event marks progress
+		Quiesced:         func() bool { done = ran == 20; return done },
+	})
+	if f != nil {
+		t.Fatalf("clean run faulted: %v", f)
+	}
+	if ran != 20 || !done {
+		t.Fatalf("ran %d of 20 events (quiesced %v)", ran, done)
+	}
+}

@@ -9,4 +9,15 @@ set -eux
 go build ./...
 go vet ./...
 go test ./...
-go test -race -short ccsim/internal/sim ccsim/internal/telemetry ccsim/exp
+go test -race -short ccsim/internal/sim ccsim/internal/telemetry ccsim/internal/fault ccsim/exp
+
+# Watchdog smoke: a generous event ceiling must not disturb a clean run,
+# and a far-too-tight one must abort with a structured fault (non-zero
+# exit) instead of hanging or crashing.
+go build -o /tmp/ccsim-verify ./cmd/ccsim
+/tmp/ccsim-verify -workload mp3d -scale 0.05 -procs 4 -max-events 50000000 > /dev/null
+if /tmp/ccsim-verify -workload mp3d -scale 0.05 -procs 4 -max-events 1000 > /dev/null 2>&1; then
+    echo "watchdog smoke: tight -max-events ceiling did not abort" >&2
+    exit 1
+fi
+rm -f /tmp/ccsim-verify
