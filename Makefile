@@ -1,6 +1,7 @@
-.PHONY: verify test bench chaos
+.PHONY: verify test bench chaos golden
 
-# Tier-1 gate: build + vet + full tests + race passes (sim, telemetry, exp).
+# Tier-1 gate: build + vet + full tests + race passes (sim, telemetry, ops,
+# exp) + the metrics regression gate against golden/.
 verify:
 	sh verify.sh
 
@@ -15,6 +16,13 @@ chaos:
 
 # Benchmarks, archived machine-readably: the raw go test output streams to
 # the terminal while cmd/benchjson writes the parsed results to
-# BENCH_PR2.json for cross-PR comparison.
+# BENCH_PR4.json for cross-PR comparison.
 bench:
-	go test -bench=. -benchmem -count=1 ./... | go run ./cmd/benchjson -o BENCH_PR2.json
+	go test -bench=. -benchmem -count=1 ./... | go run ./cmd/benchjson -o BENCH_PR4.json
+
+# Regenerate the committed metrics baseline that verify.sh gates against:
+# the Table 2 grid (5 workloads x 4 protocols) at a small fixed scale. Run
+# this after an intentional metrics change and commit the result.
+golden:
+	rm -f golden/*.json
+	go run ./cmd/experiments -exp table2 -scale 0.05 -procs 4 -q -metrics golden > /dev/null

@@ -120,6 +120,13 @@ type Config struct {
 	// for zero overhead.
 	Telemetry *Telemetry
 
+	// Progress, when non-nil, is a live probe into the run: the engine
+	// publishes events executed, simulated time and a wall-clock heartbeat
+	// through lock-free atomic stores, and any other goroutine reads them
+	// with Progress.Snapshot while the simulation runs. Leave nil for zero
+	// overhead.
+	Progress *Progress
+
 	// MaxEvents aborts the run with a *SimFault once this many simulation
 	// events have executed (0 = no limit) — the watchdog's guard against
 	// runaway protocol activity.
@@ -194,6 +201,7 @@ func (c Config) machineConfig() machine.Config {
 		MaxTime:          sim.Time(c.Deadline),
 		NoProgressEvents: c.NoProgressEvents,
 		FlightRecorder:   c.FlightRecorder,
+		Progress:         c.Progress,
 	}
 	if c.FaultInject != "" && c.FaultInject == c.Workload+"/"+c.ProtocolName() {
 		mc.InjectPanic = true
@@ -264,6 +272,16 @@ func WorkloadOps(name string, procs int, scale float64) ([][]Op, error) {
 	}
 	return out, nil
 }
+
+// Progress is a lock-free live probe into a running simulation: attach one
+// via Config.Progress, then call Snapshot from any goroutine to read the
+// run's position (events executed, simulated time, wall-clock heartbeat)
+// without disturbing it. The ops plane of cmd/experiments builds its
+// /status and /metrics views from these probes.
+type Progress = sim.Progress
+
+// ProgressSnapshot is one reading of a Progress probe.
+type ProgressSnapshot = sim.ProgressSnapshot
 
 // HardwareCost is one row of the paper's Table 1: the hardware an extension
 // needs beyond the BASIC protocol.

@@ -15,18 +15,23 @@
 //	ccsim -workload mp3d -json                   # machine-readable result
 //	ccsim -workload mp3d -timeline t.json        # Perfetto/Chrome trace timeline
 //	ccsim -workload mp3d -max-events 5000000000  # watchdog event ceiling
+//	ccsim -workload mp3d -log-json               # JSON stderr diagnostics
 //
-// A run that panics, deadlocks or exceeds a watchdog bound exits non-zero
-// with a structured fault dump on stderr: simulated time, faulting
-// component and message, pending transactions per cache, directory state,
-// blocked processors/locks/barriers, and the flight-recorder tail of
-// recent protocol messages.
+// Diagnostics are structured log/slog records on stderr (text by default,
+// JSON under -log-json); results stay on stdout. A run that panics,
+// deadlocks or exceeds a watchdog bound exits non-zero with a structured
+// fault record naming the workload, protocol, component and simulated
+// time, followed in text mode by the full diagnostic dump: pending
+// transactions per cache, directory state, blocked
+// processors/locks/barriers, and the flight-recorder tail of recent
+// protocol messages.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -80,11 +85,21 @@ func run() int {
 	deadline := flag.Int64("deadline", 0, "abort past this simulated time in pclocks (0 = unlimited)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	logJSON := flag.Bool("log-json", false, "emit stderr diagnostics as JSON log records")
 	flag.Parse()
+
+	// Diagnostics are structured slog records on stderr; results stay on
+	// stdout untouched.
+	hopts := &slog.HandlerOptions{Level: slog.LevelInfo}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, hopts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	}
+	logger := slog.New(handler)
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("profiling setup failed", "err", err)
 		return 1
 	}
 	defer stopProf()
@@ -107,12 +122,12 @@ func run() int {
 	case "mesh":
 		cfg.Net = ccsim.Mesh
 	default:
-		fmt.Fprintf(os.Stderr, "unknown network %q\n", *netKind)
+		logger.Error("unknown network", "net", *netKind)
 		return 2
 	}
 	e, err := parseExt(*ext)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("bad -ext", "err", err)
 		return 2
 	}
 	cfg.Extensions = e
@@ -125,7 +140,7 @@ func run() int {
 		if *traceOut != "-" {
 			f, err := os.Create(*traceOut)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				logger.Error("trace file", "err", err)
 				return 1
 			}
 			defer f.Close()
@@ -136,7 +151,7 @@ func run() int {
 			for _, part := range strings.Split(*traceAddrs, ",") {
 				var a uint64
 				if _, err := fmt.Sscanf(strings.TrimSpace(part), "%v", &a); err != nil {
-					fmt.Fprintf(os.Stderr, "bad trace address %q\n", part)
+					logger.Error("bad trace address", "addr", part)
 					return 2
 				}
 				cfg.TraceBlocks = append(cfg.TraceBlocks, a)
@@ -147,20 +162,20 @@ func run() int {
 	if *dump != "" {
 		ops, err := ccsim.WorkloadOps(*workload, *procs, *scale)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("workload export failed", "workload", *workload, "err", err)
 			return 1
 		}
 		f, err := os.Create(*dump)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("workload export failed", "err", err)
 			return 1
 		}
 		if err := ccsim.WriteTrace(f, ops); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("workload export failed", "err", err)
 			return 1
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("workload export failed", "err", err)
 			return 1
 		}
 		fmt.Printf("wrote %s\n", *dump)
@@ -171,13 +186,13 @@ func run() int {
 	if *in != "" {
 		f, ferr := os.Open(*in)
 		if ferr != nil {
-			fmt.Fprintln(os.Stderr, ferr)
+			logger.Error("trace input", "err", ferr)
 			return 1
 		}
 		streams, perr := ccsim.ParseTrace(f)
 		f.Close()
 		if perr != nil {
-			fmt.Fprintln(os.Stderr, perr)
+			logger.Error("trace input", "file", *in, "err", perr)
 			return 1
 		}
 		cfg.Procs = len(streams)
@@ -187,28 +202,47 @@ func run() int {
 		r, err = ccsim.Run(cfg)
 	}
 	if err != nil {
-		// A structured fault gets its full diagnostic dump — snapshot,
-		// blocked agents, flight-recorder tail; other errors print plainly.
+		// A structured fault logs as one machine-parseable record carrying
+		// its identity fields; in text mode the full diagnostic dump —
+		// snapshot, blocked agents, flight-recorder tail — follows it.
 		if f, ok := ccsim.AsFault(err); ok {
-			f.Dump(os.Stderr)
+			logger.Error("simulation fault",
+				"workload", cfg.Workload,
+				"protocol", cfg.ProtocolName(),
+				"kind", f.Kind,
+				"component", f.Component,
+				"sim_time", f.Time,
+				"events", f.Steps,
+				"cause", f.Message,
+			)
+			if !*logJSON {
+				f.Dump(os.Stderr)
+			}
 		} else {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("run failed", "workload", cfg.Workload, "err", err)
 		}
 		return 1
+	}
+
+	// Span-buffer overflow silently truncates timelines and phase totals;
+	// make it loud.
+	if n := cfg.Telemetry.DroppedSpans(); n > 0 {
+		logger.Warn("telemetry span buffer overflowed; timeline and phase totals undercount",
+			"dropped_spans", n, "kept_spans", len(cfg.Telemetry.Spans()))
 	}
 
 	if *timeline != "" {
 		f, ferr := os.Create(*timeline)
 		if ferr != nil {
-			fmt.Fprintln(os.Stderr, ferr)
+			logger.Error("timeline export failed", "err", ferr)
 			return 1
 		}
 		if werr := cfg.Telemetry.WriteTimeline(f); werr != nil {
-			fmt.Fprintln(os.Stderr, werr)
+			logger.Error("timeline export failed", "err", werr)
 			return 1
 		}
 		if cerr := f.Close(); cerr != nil {
-			fmt.Fprintln(os.Stderr, cerr)
+			logger.Error("timeline export failed", "err", cerr)
 			return 1
 		}
 	}
@@ -217,7 +251,7 @@ func run() int {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if jerr := enc.Encode(r); jerr != nil {
-			fmt.Fprintln(os.Stderr, jerr)
+			logger.Error("result encoding failed", "err", jerr)
 			return 1
 		}
 		return 0

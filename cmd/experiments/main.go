@@ -17,6 +17,9 @@
 //	experiments -scale 0.25 ...     # shrink the workloads for a quick pass
 //	experiments -jobs 8 ...         # simulate up to 8 configurations at once
 //	experiments -metrics out/ ...   # also write each run's result as JSON
+//	experiments -listen :8099       # live ops plane: /metrics + /status
+//	experiments -log-json ...       # structured stderr logs as JSON
+//	experiments -q ...              # quiet: suppress per-experiment timing
 //	experiments -cpuprofile p.out   # write a runtime/pprof CPU profile
 //	experiments -max-events 5000000000  # watchdog: bound every run's events
 //	experiments -inject-fault mp3d/P+CW  # crash one run, prove containment
@@ -25,6 +28,11 @@
 // named by several experiments (every figure's BASIC baseline, Table 2's
 // subset of Figure 2's grid) simulates exactly once. Worker count changes
 // wall-clock time only — printed results are identical at any -jobs value.
+//
+// Results go to stdout; every diagnostic — timing, faults, the ops
+// server's address — goes to stderr as structured log/slog records (text
+// by default, JSON under -log-json), so stdout is byte-identical across
+// -jobs values, verbosity levels, and ops-server on/off.
 //
 // Sweeps are crash-contained: a run that panics, deadlocks or trips the
 // watchdog renders as a FAULT cell in its tables while every other cell
@@ -35,17 +43,35 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"ccsim"
 	"ccsim/exp"
+	"ccsim/internal/ops"
 	"ccsim/internal/prof"
 )
 
 func main() { os.Exit(run()) }
+
+// newLogger builds the process logger: slog to stderr, text for humans or
+// JSON for machine ingestion, with -q raising the level past the
+// per-experiment Info chatter.
+func newLogger(jsonOut, quiet bool) *slog.Logger {
+	level := slog.LevelInfo
+	if quiet {
+		level = slog.LevelWarn
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonOut {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts))
+}
 
 func run() int {
 	which := flag.String("exp", "all", "experiment: all, table1, fig2, table2, fig3, table3, fig4, sens-buffers, sens-cache, dir, assoc, scaling, cost")
@@ -53,6 +79,9 @@ func run() int {
 	procs := flag.Int("procs", 16, "processor count")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max simulations to run concurrently")
 	metrics := flag.String("metrics", "", "write each run's full result as JSON into this directory")
+	listen := flag.String("listen", "", "serve the live ops plane (/metrics, /status) on this address, e.g. :8099")
+	logJSON := flag.Bool("log-json", false, "emit stderr diagnostics as JSON log records")
+	quiet := flag.Bool("q", false, "quiet: suppress per-experiment timing lines (warnings and faults still log)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	injectFault := flag.String("inject-fault", "", `crash the run matching "workload/protocol" (e.g. mp3d/P+CW) to exercise fault containment`)
@@ -60,14 +89,25 @@ func run() int {
 	deadline := flag.Int64("deadline", 0, "abort any single run past this simulated time in pclocks (0 = unlimited)")
 	flag.Parse()
 
+	logger := newLogger(*logJSON, *quiet)
+
 	stop, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("profiling setup failed", "err", err)
 		return 1
 	}
 	defer stop()
 
 	sched := exp.NewScheduler(*jobs, *metrics)
+	if *listen != "" {
+		srv, err := ops.Serve(*listen, sched)
+		if err != nil {
+			logger.Error("ops server failed to start", "addr", *listen, "err", err)
+			return 1
+		}
+		defer srv.Close()
+		logger.Info("ops server listening", "addr", srv.Addr(), "endpoints", "/metrics /status")
+	}
 	o := exp.Options{
 		Scale: *scale, Procs: *procs, MetricsDir: *metrics, Sched: sched,
 		InjectFault: *injectFault, MaxEvents: *maxEvents, Deadline: *deadline,
@@ -76,13 +116,14 @@ func run() int {
 		t0 := time.Now()
 		fmt.Printf("==== %s (scale %g, %d processors) ====\n", name, o.Scale, o.Procs)
 		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			logger.Error("experiment failed", "experiment", name, "err", err)
 			return err
 		}
-		// Wall-clock goes to stderr so stdout is byte-identical across runs
-		// and -jobs values (diffable results).
+		// Timing goes to the stderr logger so stdout is byte-identical
+		// across runs, -jobs values and verbosity levels (diffable results).
 		fmt.Printf("---- %s done ----\n\n", name)
-		fmt.Fprintf(os.Stderr, "%s took %v\n", name, time.Since(t0).Round(time.Millisecond))
+		logger.Info("experiment done", "experiment", name,
+			"elapsed", time.Since(t0).Round(time.Millisecond).String())
 		return nil
 	}
 
@@ -191,35 +232,41 @@ func run() int {
 				code = 1
 			}
 		}
-		// Stderr, not stdout: results must be byte-identical at any -jobs.
-		fmt.Fprintf(os.Stderr, "simulated %d unique configurations (%d workers)\n",
-			sched.Unique(), sched.Jobs())
-		if reportFaults(sched) {
+		// The stderr logger, not stdout: results must be byte-identical at
+		// any -jobs.
+		st := sched.Stats()
+		logger.Info("sweep complete", "unique", st.Unique, "dedup_hits", st.DedupHits,
+			"completed", st.Completed, "failed", st.Failed, "workers", sched.Jobs())
+		if reportFaults(logger, *logJSON, sched) {
 			code = 1
 		}
 		return code
 	}
 	fn, ok := experiments[*which]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; have %v and all\n", *which, order)
+		logger.Error("unknown experiment", "experiment", *which,
+			"have", strings.Join(append(order, "all"), " "))
 		return 2
 	}
 	code := 0
 	if runExp(*which, fn) != nil {
 		code = 1
 	}
-	if reportFaults(sched) {
+	if reportFaults(logger, *logJSON, sched) {
 		code = 1
 	}
 	return code
 }
 
-// reportFaults dumps every faulted run from the scheduler's ledger to
-// stderr — one summary line per run plus the structured SimFault dump when
-// there is one — and reports whether any run faulted. Everything goes to
-// stderr: FAULT cells aside, a sweep with faults prints the same stdout as
-// one without.
-func reportFaults(sched *exp.Scheduler) bool {
+// reportFaults logs every faulted run from the scheduler's ledger as one
+// structured record carrying the run's identity (workload, protocol) and,
+// for simulation faults, the fault's kind, component, simulated time and
+// event count. In text mode the full diagnostic dump (snapshot, blocked
+// agents, flight recorder) follows each record; under -log-json the
+// records stay machine-parseable one-per-line and the dump is elided.
+// Reports whether any run faulted. Everything goes to stderr: FAULT cells
+// aside, a sweep with faults prints the same stdout as one without.
+func reportFaults(logger *slog.Logger, jsonMode bool, sched *exp.Scheduler) bool {
 	failed := sched.Failed()
 	if len(failed) == 0 {
 		return false
@@ -231,10 +278,26 @@ func reportFaults(sched *exp.Scheduler) bool {
 		}
 		return a.ProtocolName() < b.ProtocolName()
 	})
-	fmt.Fprintf(os.Stderr, "\n%d run(s) faulted:\n", len(failed))
+	logger.Error("sweep had faulted runs", "count", len(failed))
 	for _, f := range failed {
-		fmt.Fprintf(os.Stderr, "FAULT %s/%s: %v\n", f.Cfg.Workload, f.Cfg.ProtocolName(), f.Err)
-		if sf, ok := ccsim.AsFault(f.Err); ok {
+		attrs := []any{
+			"workload", f.Cfg.Workload,
+			"protocol", f.Cfg.ProtocolName(),
+		}
+		sf, isFault := ccsim.AsFault(f.Err)
+		if isFault {
+			attrs = append(attrs,
+				"kind", sf.Kind,
+				"component", sf.Component,
+				"sim_time", sf.Time,
+				"events", sf.Steps,
+				"cause", sf.Message,
+			)
+		} else {
+			attrs = append(attrs, "err", f.Err.Error())
+		}
+		logger.Error("run faulted", attrs...)
+		if isFault && !jsonMode {
 			sf.Dump(os.Stderr)
 		}
 	}

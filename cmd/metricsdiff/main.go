@@ -1,0 +1,317 @@
+// Command metricsdiff is the sweep's metrics regression gate: it compares
+// a directory of per-run Result JSON files (as written by
+// `experiments -metrics DIR`) against a committed golden baseline and
+// exits non-zero when any metric moved beyond its tolerance.
+//
+// Usage:
+//
+//	metricsdiff GOLDEN_DIR CANDIDATE_DIR
+//	metricsdiff -tol 0.01 golden out              # 1% slack on everything
+//	metricsdiff -tol-metric AvgReadMissLatency=0.02,ExecTime=0 golden out
+//
+// The simulator is deterministic, so the default tolerance is exact
+// equality; `-tol` sets a global relative tolerance and `-tol-metric`
+// overrides it per metric (matched by full dotted path first, then by
+// leaf name). Every comparison walks the flattened JSON, so nested
+// fields (Resources[3].BusyPclocks) and scalar fields gate alike.
+//
+// Verdicts: a candidate file or metric missing from the baseline's view,
+// a metric present only in the candidate (schema drift), a non-numeric
+// mismatch, or a numeric delta beyond tolerance all fail the gate. Files
+// present only in the candidate directory are reported but do not fail —
+// a grown sweep is not a regression. `make golden` regenerates the
+// baseline after an intentional change.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("metricsdiff", flag.ContinueOnError)
+	tol := fs.Float64("tol", 0, "global relative tolerance (0 = exact; the simulator is deterministic)")
+	tolMetric := fs.String("tol-metric", "", `comma-separated per-metric overrides, e.g. "AvgReadMissLatency=0.02,Resources[0].BusyPclocks=0.1"`)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: metricsdiff [-tol F] [-tol-metric M=F,...] GOLDEN_DIR CANDIDATE_DIR")
+		return 2
+	}
+	tols, err := parseTolerances(*tol, *tolMetric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	golden, err := loadDir(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if len(golden) == 0 {
+		fmt.Fprintf(os.Stderr, "metricsdiff: no .json files in baseline %s\n", fs.Arg(0))
+		return 2
+	}
+	candidate, err := loadDir(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	rep := compare(golden, candidate, tols)
+	rep.render(os.Stdout, fs.Arg(0), fs.Arg(1))
+	if len(rep.failures) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// tolerances resolves the allowed relative deviation for one metric:
+// full-path override, then leaf-name override, then the global default.
+type tolerances struct {
+	def    float64
+	byName map[string]float64
+}
+
+func parseTolerances(def float64, spec string) (tolerances, error) {
+	t := tolerances{def: def, byName: map[string]float64{}}
+	if def < 0 {
+		return t, fmt.Errorf("metricsdiff: negative -tol %g", def)
+	}
+	if spec == "" {
+		return t, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return t, fmt.Errorf("metricsdiff: bad -tol-metric entry %q (want Metric=frac)", part)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 {
+			return t, fmt.Errorf("metricsdiff: bad tolerance in %q", part)
+		}
+		t.byName[name] = f
+	}
+	return t, nil
+}
+
+func (t tolerances) lookup(path string) float64 {
+	if f, ok := t.byName[path]; ok {
+		return f
+	}
+	if i := strings.LastIndexAny(path, ".]"); i >= 0 {
+		if f, ok := t.byName[path[i+1:]]; ok {
+			return f
+		}
+	}
+	return t.def
+}
+
+// loadDir reads every .json file in dir into flattened metric maps keyed
+// by filename.
+func loadDir(dir string) (map[string]map[string]any, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("metricsdiff: %w", err)
+	}
+	out := make(map[string]map[string]any)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("metricsdiff: %w", err)
+		}
+		var v any
+		if err := json.Unmarshal(b, &v); err != nil {
+			return nil, fmt.Errorf("metricsdiff: %s: %w", e.Name(), err)
+		}
+		flat := make(map[string]any)
+		flatten("", v, flat)
+		out[e.Name()] = flat
+	}
+	return out, nil
+}
+
+// flatten walks decoded JSON, recording every leaf under its dotted path
+// ("Resources[3].BusyPclocks", "Cache.SLCHits").
+func flatten(prefix string, v any, out map[string]any) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, sub, out)
+		}
+	case []any:
+		for i, sub := range x {
+			flatten(fmt.Sprintf("%s[%d]", prefix, i), sub, out)
+		}
+	default:
+		out[prefix] = x
+	}
+}
+
+// failure is one gate violation.
+type failure struct {
+	file   string
+	metric string
+	golden string
+	got    string
+	// relDelta is the relative deviation for numeric mismatches, NaN for
+	// structural ones (missing files/metrics, type mismatches).
+	relDelta float64
+	tol      float64
+	reason   string
+}
+
+type report struct {
+	files    int // files compared
+	metrics  int // metrics compared
+	failures []failure
+	extras   []string // candidate-only files (reported, not failed)
+}
+
+func compare(golden, candidate map[string]map[string]any, tols tolerances) *report {
+	rep := &report{}
+	for name := range candidate {
+		if _, ok := golden[name]; !ok {
+			rep.extras = append(rep.extras, name)
+		}
+	}
+	sort.Strings(rep.extras)
+	var files []string
+	for name := range golden {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		g := golden[name]
+		c, ok := candidate[name]
+		if !ok {
+			rep.failures = append(rep.failures, failure{
+				file: name, relDelta: math.NaN(), reason: "file missing from candidate",
+			})
+			continue
+		}
+		rep.files++
+		var paths []string
+		for p := range g {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			rep.metrics++
+			cv, ok := c[p]
+			if !ok {
+				rep.failures = append(rep.failures, failure{
+					file: name, metric: p, golden: renderValue(g[p]),
+					relDelta: math.NaN(), reason: "metric missing from candidate",
+				})
+				continue
+			}
+			rep.compareValue(name, p, g[p], cv, tols)
+		}
+		for p := range c {
+			if _, ok := g[p]; !ok {
+				rep.failures = append(rep.failures, failure{
+					file: name, metric: p, got: renderValue(c[p]),
+					relDelta: math.NaN(), reason: "metric absent from baseline (schema drift; run `make golden`)",
+				})
+			}
+		}
+	}
+	sort.Slice(rep.failures, func(i, j int) bool {
+		if rep.failures[i].file != rep.failures[j].file {
+			return rep.failures[i].file < rep.failures[j].file
+		}
+		return rep.failures[i].metric < rep.failures[j].metric
+	})
+	return rep
+}
+
+func (rep *report) compareValue(file, path string, gv, cv any, tols tolerances) {
+	gn, gIsNum := gv.(float64)
+	cn, cIsNum := cv.(float64)
+	if gIsNum != cIsNum {
+		rep.failures = append(rep.failures, failure{
+			file: file, metric: path, golden: renderValue(gv), got: renderValue(cv),
+			relDelta: math.NaN(), reason: "type changed",
+		})
+		return
+	}
+	if !gIsNum {
+		if gv != cv {
+			rep.failures = append(rep.failures, failure{
+				file: file, metric: path, golden: renderValue(gv), got: renderValue(cv),
+				relDelta: math.NaN(), reason: "value changed",
+			})
+		}
+		return
+	}
+	rel := relDelta(gn, cn)
+	if tol := tols.lookup(path); rel > tol {
+		rep.failures = append(rep.failures, failure{
+			file: file, metric: path, golden: renderValue(gv), got: renderValue(cv),
+			relDelta: rel, tol: tol, reason: "beyond tolerance",
+		})
+	}
+}
+
+// relDelta is |g-c| normalized by the larger magnitude, so it is symmetric
+// and lands in [0, 1] for same-signed values (1 when one side is zero).
+func relDelta(g, c float64) float64 {
+	if g == c {
+		return 0
+	}
+	denom := math.Max(math.Abs(g), math.Abs(c))
+	return math.Abs(g-c) / denom
+}
+
+func renderValue(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+func (rep *report) render(w *os.File, goldenDir, candidateDir string) {
+	for _, name := range rep.extras {
+		fmt.Fprintf(w, "note: %s exists only in %s (not gated)\n", name, candidateDir)
+	}
+	if len(rep.failures) == 0 {
+		fmt.Fprintf(w, "metricsdiff: OK — %d files, %d metrics within tolerance of %s\n",
+			rep.files, rep.metrics, goldenDir)
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "file\tmetric\tgolden\tgot\trel-delta\ttol\treason")
+	for _, f := range rep.failures {
+		delta := "-"
+		if !math.IsNaN(f.relDelta) {
+			delta = strconv.FormatFloat(f.relDelta, 'g', 4, 64)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%g\t%s\n",
+			f.file, f.metric, f.golden, f.got, delta, f.tol, f.reason)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "metricsdiff: FAIL — %d regression(s) across %d files, %d metrics\n",
+		len(rep.failures), rep.files, rep.metrics)
+}

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeJSON(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const baseResult = `{
+  "Workload": "mp3d",
+  "Protocol": "P+CW under RC",
+  "ExecTime": 1000000,
+  "AvgReadMissLatency": 62.5,
+  "Resources": [
+    {"Name": "bus", "BusyPclocks": 400},
+    {"Name": "dir", "BusyPclocks": 300}
+  ]
+}`
+
+func twoDirs(t *testing.T) (string, string) {
+	t.Helper()
+	g, c := t.TempDir(), t.TempDir()
+	writeJSON(t, g, "mp3d_P+CW.json", baseResult)
+	writeJSON(t, c, "mp3d_P+CW.json", baseResult)
+	return g, c
+}
+
+func TestFlatten(t *testing.T) {
+	flat := make(map[string]any)
+	flatten("", map[string]any{
+		"A": 1.0,
+		"B": map[string]any{"C": "x"},
+		"R": []any{map[string]any{"N": 2.0}, 3.0},
+	}, flat)
+	want := map[string]any{"A": 1.0, "B.C": "x", "R[0].N": 2.0, "R[1]": 3.0}
+	if len(flat) != len(want) {
+		t.Fatalf("flatten = %v, want %v", flat, want)
+	}
+	for k, v := range want {
+		if flat[k] != v {
+			t.Errorf("flat[%q] = %v, want %v", k, flat[k], v)
+		}
+	}
+}
+
+func TestIdenticalDirsPass(t *testing.T) {
+	g, c := twoDirs(t)
+	if code := run([]string{g, c}); code != 0 {
+		t.Fatalf("identical dirs: exit %d, want 0", code)
+	}
+	// Self-comparison must also pass.
+	if code := run([]string{g, g}); code != 0 {
+		t.Fatalf("self comparison: exit %d, want 0", code)
+	}
+}
+
+func TestPerturbedValueFails(t *testing.T) {
+	g, c := twoDirs(t)
+	perturbed := `{
+  "Workload": "mp3d",
+  "Protocol": "P+CW under RC",
+  "ExecTime": 1010000,
+  "AvgReadMissLatency": 62.5,
+  "Resources": [
+    {"Name": "bus", "BusyPclocks": 400},
+    {"Name": "dir", "BusyPclocks": 300}
+  ]
+}`
+	writeJSON(t, c, "mp3d_P+CW.json", perturbed)
+	if code := run([]string{g, c}); code != 1 {
+		t.Fatalf("1%% ExecTime drift at exact tolerance: exit %d, want 1", code)
+	}
+	// A global 2% tolerance absorbs it.
+	if code := run([]string{"-tol", "0.02", g, c}); code != 0 {
+		t.Fatalf("1%% drift under -tol 0.02: exit %d, want 0", code)
+	}
+	// A per-metric override on just ExecTime also absorbs it.
+	if code := run([]string{"-tol-metric", "ExecTime=0.02", g, c}); code != 0 {
+		t.Fatalf("1%% drift under -tol-metric ExecTime=0.02: exit %d, want 0", code)
+	}
+	// An override on an unrelated metric does not.
+	if code := run([]string{"-tol-metric", "AvgReadMissLatency=0.5", g, c}); code != 1 {
+		t.Fatalf("unrelated override: exit %d, want 1", code)
+	}
+}
+
+func TestNestedValueGated(t *testing.T) {
+	g, c := twoDirs(t)
+	writeJSON(t, c, "mp3d_P+CW.json", `{
+  "Workload": "mp3d",
+  "Protocol": "P+CW under RC",
+  "ExecTime": 1000000,
+  "AvgReadMissLatency": 62.5,
+  "Resources": [
+    {"Name": "bus", "BusyPclocks": 999},
+    {"Name": "dir", "BusyPclocks": 300}
+  ]
+}`)
+	if code := run([]string{g, c}); code != 1 {
+		t.Fatalf("nested Resources drift: exit %d, want 1", code)
+	}
+	// Full-path override targets exactly the drifted leaf.
+	if code := run([]string{"-tol-metric", "Resources[0].BusyPclocks=0.7", g, c}); code != 0 {
+		t.Fatalf("full-path override: exit %d, want 0", code)
+	}
+}
+
+func TestStringChangeFails(t *testing.T) {
+	g, c := twoDirs(t)
+	writeJSON(t, c, "mp3d_P+CW.json", `{
+  "Workload": "mp3d",
+  "Protocol": "P under RC",
+  "ExecTime": 1000000,
+  "AvgReadMissLatency": 62.5,
+  "Resources": [
+    {"Name": "bus", "BusyPclocks": 400},
+    {"Name": "dir", "BusyPclocks": 300}
+  ]
+}`)
+	// Strings gate exactly even under a generous numeric tolerance.
+	if code := run([]string{"-tol", "0.5", g, c}); code != 1 {
+		t.Fatalf("protocol string change: exit %d, want 1", code)
+	}
+}
+
+func TestMissingAndExtraFiles(t *testing.T) {
+	g, c := twoDirs(t)
+	// Candidate missing a baseline file fails.
+	if err := os.Remove(filepath.Join(c, "mp3d_P+CW.json")); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{g, c}); code != 1 {
+		t.Fatalf("missing candidate file: exit %d, want 1", code)
+	}
+	// Candidate-only files are tolerated: a grown sweep is not a regression.
+	writeJSON(t, c, "mp3d_P+CW.json", baseResult)
+	writeJSON(t, c, "ocean_BASIC.json", baseResult)
+	if code := run([]string{g, c}); code != 0 {
+		t.Fatalf("extra candidate file: exit %d, want 0", code)
+	}
+}
+
+func TestSchemaDriftFails(t *testing.T) {
+	g, c := twoDirs(t)
+	writeJSON(t, c, "mp3d_P+CW.json", `{
+  "Workload": "mp3d",
+  "Protocol": "P+CW under RC",
+  "ExecTime": 1000000,
+  "AvgReadMissLatency": 62.5,
+  "NewCounter": 7,
+  "Resources": [
+    {"Name": "bus", "BusyPclocks": 400},
+    {"Name": "dir", "BusyPclocks": 300}
+  ]
+}`)
+	if code := run([]string{g, c}); code != 1 {
+		t.Fatalf("candidate-only metric: exit %d, want 1", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	g, _ := twoDirs(t)
+	if code := run([]string{g}); code != 2 {
+		t.Fatalf("one arg: exit %d, want 2", code)
+	}
+	if code := run([]string{"-tol-metric", "garbage", g, g}); code != 2 {
+		t.Fatalf("bad -tol-metric: exit %d, want 2", code)
+	}
+	if code := run([]string{"-tol", "-1", g, g}); code != 2 {
+		t.Fatalf("negative -tol: exit %d, want 2", code)
+	}
+	empty := t.TempDir()
+	if code := run([]string{empty, g}); code != 2 {
+		t.Fatalf("empty baseline: exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(g, "absent"), g}); code != 2 {
+		t.Fatalf("missing baseline dir: exit %d, want 2", code)
+	}
+}
+
+func TestRelDelta(t *testing.T) {
+	cases := []struct{ g, c, want float64 }{
+		{0, 0, 0},
+		{100, 100, 0},
+		{100, 101, 1.0 / 101},
+		{101, 100, 1.0 / 101}, // symmetric
+		{0, 5, 1},
+		{5, 0, 1},
+		{-100, 100, 2},
+	}
+	for _, tc := range cases {
+		if got := relDelta(tc.g, tc.c); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("relDelta(%g, %g) = %g, want %g", tc.g, tc.c, got, tc.want)
+		}
+	}
+}

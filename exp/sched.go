@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 
 	"ccsim"
@@ -33,10 +34,38 @@ type Scheduler struct {
 	// slots bounds the number of simulations running at once.
 	slots chan struct{}
 
-	mu     sync.Mutex
-	runs   map[string]*Pending
-	unique uint64
-	failed []FailedRun
+	mu        sync.Mutex
+	runs      map[string]*Pending
+	unique    uint64
+	failed    []FailedRun
+	submitted uint64
+	dedupHits uint64
+	queued    int
+	completed uint64
+	nextID    uint64
+	live      map[uint64]LiveRun
+}
+
+// SchedStats is one consistent snapshot of the scheduler's counters — the
+// gauges the ops plane exports at /metrics.
+type SchedStats struct {
+	Submitted uint64 // Submit calls, including cache hits
+	Unique    uint64 // distinct cacheable configurations started
+	DedupHits uint64 // Submit calls served by the run cache
+	Queued    int    // runs waiting for a worker slot
+	Running   int    // runs executing right now
+	Completed uint64 // runs finished without error
+	Failed    uint64 // runs finished with an error (see Failed())
+}
+
+// LiveRun describes one currently-executing simulation. Progress is the
+// run's lock-free probe: snapshot it at any time for the run's position
+// without disturbing the simulation.
+type LiveRun struct {
+	ID       uint64 // scheduler-assigned, ascending in start order
+	Workload string
+	Protocol string
+	Progress *ccsim.Progress
 }
 
 // FailedRun records one run that completed with an error — a contained
@@ -69,7 +98,37 @@ func NewScheduler(jobs int, metricsDir string) *Scheduler {
 		metricsDir: metricsDir,
 		slots:      make(chan struct{}, jobs),
 		runs:       make(map[string]*Pending),
+		live:       make(map[uint64]LiveRun),
 	}
+}
+
+// Stats snapshots the scheduler's counters.
+func (s *Scheduler) Stats() SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SchedStats{
+		Submitted: s.submitted,
+		Unique:    s.unique,
+		DedupHits: s.dedupHits,
+		Queued:    s.queued,
+		Running:   len(s.live),
+		Completed: s.completed,
+		Failed:    uint64(len(s.failed)),
+	}
+}
+
+// LiveRuns snapshots the registry of currently-executing runs, oldest
+// first. Each entry's Progress probe stays valid after the run completes;
+// its Done flag flips when the run leaves the registry.
+func (s *Scheduler) LiveRuns() []LiveRun {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]LiveRun, 0, len(s.live))
+	for _, lr := range s.live {
+		out = append(out, lr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Jobs returns the worker-pool size.
@@ -93,16 +152,23 @@ func (s *Scheduler) Submit(cfg ccsim.Config) *Pending {
 	key, cacheable := Fingerprint(cfg)
 	p := &Pending{done: make(chan struct{})}
 	if !cacheable {
+		s.mu.Lock()
+		s.submitted++
+		s.queued++
+		s.mu.Unlock()
 		go s.exec(p, cfg)
 		return p
 	}
 	s.mu.Lock()
+	s.submitted++
 	if prev, ok := s.runs[key]; ok {
+		s.dedupHits++
 		s.mu.Unlock()
 		return prev
 	}
 	s.runs[key] = p
 	s.unique++
+	s.queued++
 	s.mu.Unlock()
 	go s.exec(p, cfg)
 	return p
@@ -120,6 +186,21 @@ func (s *Scheduler) Failed() []FailedRun {
 func (s *Scheduler) exec(p *Pending, cfg ccsim.Config) {
 	s.slots <- struct{}{}
 	defer func() { <-s.slots }()
+	// Register in the live table once a worker slot is held: the run is
+	// about to execute, so its probe starts advancing. A caller-supplied
+	// probe is reused (the submitter is watching); otherwise the scheduler
+	// attaches its own so the ops plane sees every run.
+	prog := cfg.Progress
+	if prog == nil {
+		prog = &ccsim.Progress{Label: cfg.Workload + "/" + cfg.ProtocolName()}
+		cfg.Progress = prog
+	}
+	s.mu.Lock()
+	s.queued--
+	s.nextID++
+	id := s.nextID
+	s.live[id] = LiveRun{ID: id, Workload: cfg.Workload, Protocol: cfg.ProtocolName(), Progress: prog}
+	s.mu.Unlock()
 	// done closes on every path — a panicking run must never leave Wait()
 	// callers hanging. Deferred before the recover handler so the handler
 	// has set p.err by the time done closes (LIFO order).
@@ -129,11 +210,14 @@ func (s *Scheduler) exec(p *Pending, cfg ccsim.Config) {
 			p.res = nil
 			p.err = fmt.Errorf("run panicked outside the simulation: %v\n%s", v, debug.Stack())
 		}
+		s.mu.Lock()
+		delete(s.live, id)
 		if p.err != nil {
-			s.mu.Lock()
 			s.failed = append(s.failed, FailedRun{Cfg: cfg, Err: p.err})
-			s.mu.Unlock()
+		} else {
+			s.completed++
 		}
+		s.mu.Unlock()
 	}()
 	p.res, p.err = runSim(cfg)
 	if p.err == nil && s.metricsDir != "" {
@@ -165,10 +249,10 @@ func (p *Pending) Cell() *ccsim.Result {
 
 // Fingerprint canonicalizes cfg into the scheduler's cache key. The second
 // return is false when the configuration cannot be cached (it carries a
-// trace or telemetry side channel, so running it has observable effects
-// beyond the Result).
+// trace, telemetry or progress side channel, so running it has observable
+// effects beyond the Result).
 func Fingerprint(cfg ccsim.Config) (string, bool) {
-	if cfg.TraceWriter != nil || cfg.Telemetry != nil {
+	if cfg.TraceWriter != nil || cfg.Telemetry != nil || cfg.Progress != nil {
 		return "", false
 	}
 	scale := cfg.Scale

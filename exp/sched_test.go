@@ -2,6 +2,7 @@ package exp
 
 import (
 	"encoding/json"
+	"fmt"
 	"testing"
 
 	"ccsim"
@@ -129,6 +130,11 @@ func TestSchedulerUncacheable(t *testing.T) {
 	if _, ok := Fingerprint(cfg); ok {
 		t.Fatal("config with TraceWriter fingerprinted as cacheable")
 	}
+	probed := tiny().config("mp3d")
+	probed.Progress = &ccsim.Progress{}
+	if _, ok := Fingerprint(probed); ok {
+		t.Fatal("config with Progress probe fingerprinted as cacheable")
+	}
 	s := NewScheduler(2, "")
 	if s.Submit(cfg) == s.Submit(cfg) {
 		t.Fatal("uncacheable submissions shared a run")
@@ -191,5 +197,114 @@ func TestFingerprintCoversConfig(t *testing.T) {
 			t.Fatalf("mutant %d aliases mutant %d: %q", i, prev, key)
 		}
 		seen[key] = i
+	}
+}
+
+// TestSchedulerStats drives a small grid through the scheduler and checks
+// the counters the ops plane exports: every Submit is accounted, dedup
+// hits are split out, and the scheduler ends drained (nothing queued or
+// running, everything completed).
+func TestSchedulerStats(t *testing.T) {
+	s := NewScheduler(2, "")
+	o := tiny()
+	var pends []*Pending
+	for _, wl := range []string{"mp3d", "ocean"} {
+		for _, c := range Combos()[:2] {
+			cfg := o.config(wl)
+			cfg.Extensions = c.Ext
+			pends = append(pends, s.Submit(cfg))
+			pends = append(pends, s.Submit(cfg)) // dedup hit
+		}
+	}
+	for _, p := range pends {
+		if _, err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Submitted != 8 {
+		t.Fatalf("Submitted = %d, want 8", st.Submitted)
+	}
+	if st.Unique != 4 || st.DedupHits != 4 {
+		t.Fatalf("Unique/DedupHits = %d/%d, want 4/4", st.Unique, st.DedupHits)
+	}
+	if st.Completed != 4 || st.Failed != 0 {
+		t.Fatalf("Completed/Failed = %d/%d, want 4/0", st.Completed, st.Failed)
+	}
+	if st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("drained scheduler still shows queued=%d running=%d", st.Queued, st.Running)
+	}
+	if n := len(s.LiveRuns()); n != 0 {
+		t.Fatalf("drained scheduler still lists %d live runs", n)
+	}
+}
+
+// TestSchedulerLiveRuns holds the worker pool on a caller-controlled run
+// and checks the live registry names it with an advancing probe, then
+// empties on completion.
+func TestSchedulerLiveRuns(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	old := runSim
+	runSim = func(cfg ccsim.Config) (*ccsim.Result, error) {
+		// Simulate probe traffic the way the engine would.
+		if cfg.Progress == nil {
+			t.Error("scheduler did not attach a Progress probe")
+		}
+		close(started)
+		<-release
+		return &ccsim.Result{Workload: cfg.Workload}, nil
+	}
+	defer func() { runSim = old }()
+
+	s := NewScheduler(1, "")
+	cfg := tiny().config("mp3d")
+	cfg.Extensions = ccsim.Ext{P: true}
+	p := s.Submit(cfg)
+	<-started
+
+	live := s.LiveRuns()
+	if len(live) != 1 {
+		t.Fatalf("LiveRuns() = %d entries, want 1", len(live))
+	}
+	lr := live[0]
+	if lr.Workload != "mp3d" || lr.Protocol != "P" {
+		t.Fatalf("live run identity = %s/%s", lr.Workload, lr.Protocol)
+	}
+	if lr.Progress == nil || lr.Progress.Label != "mp3d/P" {
+		t.Fatalf("live run probe missing or mislabelled: %+v", lr.Progress)
+	}
+	if st := s.Stats(); st.Running != 1 {
+		t.Fatalf("Stats().Running = %d with a held run", st.Running)
+	}
+	close(release)
+	if _, err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.LiveRuns()); n != 0 {
+		t.Fatalf("registry kept %d entries after completion", n)
+	}
+	if st := s.Stats(); st.Completed != 1 || st.Running != 0 {
+		t.Fatalf("post-run stats = %+v", st)
+	}
+}
+
+// TestSchedulerStatsFailed checks the failure counter matches the ledger.
+func TestSchedulerStatsFailed(t *testing.T) {
+	old := runSim
+	runSim = func(cfg ccsim.Config) (*ccsim.Result, error) {
+		return nil, fmt.Errorf("boom %s", cfg.Workload)
+	}
+	defer func() { runSim = old }()
+	s := NewScheduler(2, "")
+	if _, err := s.Submit(tiny().config("mp3d")).Wait(); err == nil {
+		t.Fatal("stubbed failure did not surface")
+	}
+	st := s.Stats()
+	if st.Failed != 1 || st.Completed != 0 {
+		t.Fatalf("Failed/Completed = %d/%d, want 1/0", st.Failed, st.Completed)
+	}
+	if len(s.Failed()) != 1 {
+		t.Fatalf("ledger holds %d entries", len(s.Failed()))
 	}
 }

@@ -62,6 +62,11 @@ type Config struct {
 	// Tele, when non-nil, collects transaction spans, processor stall
 	// intervals and periodic utilization samples for the run.
 	Tele *telemetry.Collector
+
+	// Progress, when non-nil, is the live probe other goroutines snapshot
+	// while the run executes (events, simulated time, wall-clock
+	// heartbeat). The engine publishes through it lock-free.
+	Progress *sim.Progress
 }
 
 // DefaultConfig returns the paper's baseline machine (BASIC, RC, uniform
@@ -188,6 +193,9 @@ func (m *Machine) onStatsOn() {
 func (m *Machine) Run() (*Result, error) {
 	for _, p := range m.Procs {
 		p.Start()
+	}
+	if m.Cfg.Progress != nil {
+		m.Eng.SetProgress(m.Cfg.Progress)
 	}
 	if m.Cfg.Tele != nil {
 		m.Cfg.Tele.StartSampler(m.Eng)

@@ -1,0 +1,215 @@
+// Package ops is the sweep's live operations plane: an opt-in HTTP server
+// exposing the experiment scheduler's state while a sweep runs. Two
+// endpoints, both read-only and safe to scrape at any rate:
+//
+//   - /metrics — Prometheus text exposition: scheduler gauges
+//     (queued/running/completed/failed/dedup-hits), the fault counter, and
+//     per-live-run series (events executed, simulated time, events/sec,
+//     heartbeat age).
+//   - /status — one JSON document: the same scheduler counters plus a full
+//     per-run table, including each run's watchdog heartbeat age, so a run
+//     stuck inside a single event (invisible to the event-counting
+//     watchdog) shows up before anything kills it.
+//
+// Every read goes through lock-free Progress probes or the scheduler's
+// short-lived mutex; scraping never blocks a simulation.
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"ccsim/exp"
+)
+
+// Source is the scheduler-shaped state the server scrapes. *exp.Scheduler
+// implements it; tests substitute fakes.
+type Source interface {
+	Stats() exp.SchedStats
+	LiveRuns() []exp.LiveRun
+}
+
+// Server serves the ops endpoints for one Source.
+type Server struct {
+	src Source
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer returns a server for src; call Handler to mount it yourself or
+// Serve to listen in the background.
+func NewServer(src Source) *Server {
+	return &Server{src: src}
+}
+
+// Serve starts an ops server on addr (e.g. ":8099"; ":0" picks a free
+// port) and serves in a background goroutine until Close.
+func Serve(addr string, src Source) (*Server, error) {
+	s := NewServer(src)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ops: %w", err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address ("127.0.0.1:8099"), or "" before
+// Serve.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener. In-flight scrapes are abandoned; the endpoints
+// are stateless so nothing is lost.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// Handler returns the ops mux: /metrics, /status, and a plain-text index
+// at /.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/status", s.status)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "ccsim sweep ops plane\n/metrics  Prometheus text\n/status   JSON run table\n")
+	})
+	return mux
+}
+
+// RunStatus is one row of /status's run table.
+type RunStatus struct {
+	ID       uint64 `json:"id"`
+	Workload string `json:"workload"`
+	Protocol string `json:"protocol"`
+	// Events and SimTimePclocks are the run's position, published by the
+	// engine every few thousand events.
+	Events         uint64 `json:"events"`
+	SimTimePclocks int64  `json:"sim_time_pclocks"`
+	// EventsPerSec is the run's average event rate since its start.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// WallSeconds is the run's age; HeartbeatAgeSeconds is the time since
+	// the engine last published. A heartbeat age far above WallSeconds'
+	// growth rate means the run is wedged inside one event.
+	WallSeconds         float64 `json:"wall_seconds"`
+	HeartbeatAgeSeconds float64 `json:"heartbeat_age_seconds"`
+}
+
+// Status is the /status document.
+type Status struct {
+	UnixNanos int64          `json:"unix_nanos"`
+	Scheduler exp.SchedStats `json:"scheduler"`
+	Runs      []RunStatus    `json:"runs"`
+}
+
+// snapshot assembles the full status view at one instant.
+func (s *Server) snapshot() Status {
+	now := time.Now()
+	live := s.src.LiveRuns()
+	st := Status{
+		UnixNanos: now.UnixNano(),
+		Scheduler: s.src.Stats(),
+		Runs:      make([]RunStatus, 0, len(live)),
+	}
+	for _, lr := range live {
+		ps := lr.Progress.Snapshot()
+		rs := RunStatus{
+			ID:             lr.ID,
+			Workload:       lr.Workload,
+			Protocol:       lr.Protocol,
+			Events:         ps.Events,
+			SimTimePclocks: ps.SimTime,
+			EventsPerSec:   ps.EventsPerSec(),
+		}
+		if ps.Start > 0 {
+			rs.WallSeconds = now.Sub(time.Unix(0, ps.Start)).Seconds()
+		}
+		if age := ps.HeartbeatAge(now); age > 0 {
+			rs.HeartbeatAgeSeconds = age.Seconds()
+		}
+		st.Runs = append(st.Runs, rs)
+	}
+	return st
+}
+
+func (s *Server) status(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.snapshot()) //nolint:errcheck // client hangup mid-scrape is benign
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	st := s.snapshot()
+	var b strings.Builder
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	sch := st.Scheduler
+	counter("ccsim_sched_submitted_total", "Simulations submitted, including run-cache hits.", sch.Submitted)
+	counter("ccsim_sched_unique_total", "Distinct configurations actually simulated.", sch.Unique)
+	counter("ccsim_sched_dedup_hits_total", "Submissions served by the run cache without a new simulation.", sch.DedupHits)
+	counter("ccsim_sched_completed_total", "Runs finished without error.", sch.Completed)
+	counter("ccsim_sched_faults_total", "Runs finished with an error: contained panics, watchdog aborts, metrics-write failures.", sch.Failed)
+	gauge("ccsim_sched_queued", "Runs waiting for a worker slot.", sch.Queued)
+	gauge("ccsim_sched_running", "Runs executing right now.", sch.Running)
+
+	perRun := func(name, help, typ string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	if len(st.Runs) > 0 {
+		perRun("ccsim_run_events_total", "Simulation events executed by a live run.", "counter")
+		for _, r := range st.Runs {
+			fmt.Fprintf(&b, "ccsim_run_events_total{%s} %d\n", runLabels(r), r.Events)
+		}
+		perRun("ccsim_run_sim_time_pclocks", "A live run's current simulated time.", "gauge")
+		for _, r := range st.Runs {
+			fmt.Fprintf(&b, "ccsim_run_sim_time_pclocks{%s} %d\n", runLabels(r), r.SimTimePclocks)
+		}
+		perRun("ccsim_run_events_per_second", "A live run's average event rate since start.", "gauge")
+		for _, r := range st.Runs {
+			fmt.Fprintf(&b, "ccsim_run_events_per_second{%s} %g\n", runLabels(r), r.EventsPerSec)
+		}
+		perRun("ccsim_run_heartbeat_age_seconds", "Seconds since a live run's engine last published progress.", "gauge")
+		for _, r := range st.Runs {
+			fmt.Fprintf(&b, "ccsim_run_heartbeat_age_seconds{%s} %g\n", runLabels(r), r.HeartbeatAgeSeconds)
+		}
+	}
+	w.Write([]byte(b.String())) //nolint:errcheck // client hangup mid-scrape is benign
+}
+
+func runLabels(r RunStatus) string {
+	return fmt.Sprintf(`run="%d",workload=%s,protocol=%s`,
+		r.ID, labelValue(r.Workload), labelValue(r.Protocol))
+}
+
+// labelValue quotes a Prometheus label value, escaping backslash, quote
+// and newline per the text exposition format.
+func labelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return `"` + v + `"`
+}

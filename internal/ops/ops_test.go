@@ -1,0 +1,255 @@
+package ops
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"ccsim"
+	"ccsim/exp"
+	"ccsim/internal/sim"
+)
+
+// fakeSource is a Source with fixed stats and runs.
+type fakeSource struct {
+	mu    sync.Mutex
+	stats exp.SchedStats
+	runs  []exp.LiveRun
+}
+
+func (f *fakeSource) Stats() exp.SchedStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+func (f *fakeSource) LiveRuns() []exp.LiveRun {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]exp.LiveRun(nil), f.runs...)
+}
+
+// driveProbe runs a real engine with the probe attached so its counters
+// hold simulation-realistic values.
+func driveProbe(t *testing.T, p *ccsim.Progress) {
+	t.Helper()
+	e := sim.NewEngine()
+	e.SetProgress(p)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		e.Progress()
+		if n < 20000 {
+			e.After(3, tick)
+		}
+	}
+	e.After(1, tick)
+	if f := e.RunWatched(&sim.Watchdog{}); f != nil {
+		t.Fatalf("probe drive faulted: %v", f)
+	}
+}
+
+func testSource(t *testing.T) *fakeSource {
+	t.Helper()
+	p := &ccsim.Progress{Label: "mp3d/P+CW"}
+	driveProbe(t, p)
+	return &fakeSource{
+		stats: exp.SchedStats{
+			Submitted: 275, Unique: 200, DedupHits: 75,
+			Queued: 10, Running: 2, Completed: 180, Failed: 8,
+		},
+		runs: []exp.LiveRun{
+			{ID: 1, Workload: "mp3d", Protocol: "P+CW", Progress: p},
+			{ID: 2, Workload: "ocean", Protocol: "BASIC-SC", Progress: &ccsim.Progress{}},
+		},
+	}
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+// promLine matches one Prometheus text-format sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [-+0-9.eE]+$`)
+
+// TestMetricsParses checks /metrics is well-formed exposition text and
+// carries the scheduler gauges and per-run series.
+func TestMetricsParses(t *testing.T) {
+	h := NewServer(testSource(t)).Handler()
+	code, body := get(t, h, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"ccsim_sched_submitted_total 275",
+		"ccsim_sched_dedup_hits_total 75",
+		"ccsim_sched_queued 10",
+		"ccsim_sched_running 2",
+		"ccsim_sched_completed_total 180",
+		"ccsim_sched_faults_total 8",
+		`ccsim_run_events_total{run="1",workload="mp3d",protocol="P+CW"} 20000`,
+		`ccsim_run_sim_time_pclocks{run="1",workload="mp3d",protocol="P+CW"}`,
+		`ccsim_run_events_per_second{run="1"`,
+		`ccsim_run_heartbeat_age_seconds{run="2",workload="ocean",protocol="BASIC-SC"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\nbody:\n%s", want, body)
+		}
+	}
+}
+
+// TestStatusJSON checks /status decodes and reports the driven probe's
+// position.
+func TestStatusJSON(t *testing.T) {
+	h := NewServer(testSource(t)).Handler()
+	code, body := get(t, h, "/status")
+	if code != 200 {
+		t.Fatalf("/status status %d", code)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, body)
+	}
+	if st.Scheduler.Submitted != 275 || st.Scheduler.Failed != 8 {
+		t.Fatalf("scheduler stats lost: %+v", st.Scheduler)
+	}
+	if len(st.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(st.Runs))
+	}
+	r := st.Runs[0]
+	if r.Workload != "mp3d" || r.Protocol != "P+CW" {
+		t.Fatalf("run identity = %s/%s", r.Workload, r.Protocol)
+	}
+	if r.Events != 20000 {
+		t.Fatalf("run events = %d, want 20000", r.Events)
+	}
+	if r.SimTimePclocks <= 0 {
+		t.Fatalf("run sim time = %d, want > 0", r.SimTimePclocks)
+	}
+	if r.WallSeconds < 0 || r.HeartbeatAgeSeconds < 0 {
+		t.Fatalf("negative wall/heartbeat: %+v", r)
+	}
+	// Run 2 never started: all zeros, no NaN/Inf leakage into JSON
+	// (json.Marshal would have failed on either).
+	if st.Runs[1].Events != 0 || st.Runs[1].EventsPerSec != 0 {
+		t.Fatalf("unstarted run reports progress: %+v", st.Runs[1])
+	}
+}
+
+// TestServeEndToEnd exercises the real listener path: Serve on :0, scrape
+// both endpoints over TCP, Close.
+func TestServeEndToEnd(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", testSource(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+	for _, path := range []string{"/", "/metrics", "/status"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s: empty body", path)
+		}
+	}
+	if resp, err := http.Get("http://" + srv.Addr() + "/nope"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != 404 {
+			t.Fatalf("GET /nope: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestScrapeDuringSweep scrapes a live scheduler mid-sweep — the
+// acceptance path: every live run visible with advancing simulated time.
+// Run under -race this also proves scrape vs simulation safety.
+func TestScrapeDuringSweep(t *testing.T) {
+	sched := exp.NewScheduler(2, "")
+	h := NewServer(sched).Handler()
+	var pends []*exp.Pending
+	for _, wl := range []string{"mp3d", "ocean"} {
+		for _, ext := range []ccsim.Ext{{}, {P: true}, {M: true}, {CW: true}} {
+			cfg := ccsim.DefaultConfig()
+			cfg.Workload = wl
+			// Big enough that the sweep outlasts scheduling hiccups of the
+			// scraping goroutine even on a loaded machine; the loop below
+			// stops at first drain, so the typical cost stays low.
+			cfg.Scale = 0.25
+			cfg.Procs = 8
+			cfg.Extensions = ext
+			pends = append(pends, sched.Submit(cfg))
+		}
+	}
+	// Scrape continuously until the sweep drains.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, p := range pends {
+			p.Wait() //nolint:errcheck // failures checked below
+		}
+	}()
+	sawLive := false
+	for {
+		select {
+		case <-done:
+		default:
+		}
+		code, body := get(t, h, "/status")
+		if code != 200 {
+			t.Fatalf("/status status %d", code)
+		}
+		var st Status
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("mid-sweep /status not JSON: %v", err)
+		}
+		if len(st.Runs) > 0 {
+			sawLive = true
+		}
+		if code, _ := get(t, h, "/metrics"); code != 200 {
+			t.Fatalf("/metrics status %d", code)
+		}
+		select {
+		case <-done:
+		default:
+			continue
+		}
+		break
+	}
+	for i, p := range pends {
+		if _, err := p.Wait(); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if !sawLive {
+		t.Error("scrapes never observed a live run during an 8-run sweep")
+	}
+	if st := sched.Stats(); st.Completed != 8 || st.Running != 0 {
+		t.Fatalf("post-sweep stats: %+v", st)
+	}
+}

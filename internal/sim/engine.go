@@ -35,6 +35,10 @@ type Engine struct {
 	// progressAt is the step count at the last Progress() call; RunWatched's
 	// livelock detector measures event activity against it.
 	progressAt uint64
+
+	// progress, when non-nil, is the live probe RunWatched publishes
+	// position updates through (see SetProgress).
+	progress *Progress
 }
 
 // NewEngine returns an engine with an empty event queue at time 0.

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// progressStride is how many events pass between Progress updates inside
+// RunWatched. The hot loop pays one nil check and one masked compare per
+// event; the atomic stores and the wall-clock read happen once per stride.
+// 8192 events is a few microseconds of real time, far finer than any
+// scrape interval.
+const progressStride = 8192
+
+// Progress is a lock-free probe into a running simulation. The simulation
+// goroutine publishes its position (events executed, simulated time, a
+// wall-clock heartbeat) through atomic stores inside RunWatched; any other
+// goroutine — the ops server's scrape handler, a test — reads a consistent
+// enough view with Snapshot without taking a lock or disturbing the run.
+//
+// Label carries the run's workload/protocol fingerprint ("mp3d/P+CW"). It
+// must be set before the probe is shared (it is a plain string); the
+// counters are the only fields written during the run.
+type Progress struct {
+	// Label identifies the run; set once before the run starts.
+	Label string
+
+	events  atomic.Uint64
+	simTime atomic.Int64
+	start   atomic.Int64 // wall clock at run start, UnixNano (0 = not started)
+	beat    atomic.Int64 // wall clock of the last update, UnixNano
+	done    atomic.Bool
+}
+
+// ProgressSnapshot is one coherent-enough reading of a Progress probe.
+// Fields are sampled individually (the probe is lock-free), so a snapshot
+// taken mid-update can pair an event count with a heartbeat one stride
+// newer — harmless for monitoring.
+type ProgressSnapshot struct {
+	Label   string
+	Events  uint64 // simulation events executed
+	SimTime int64  // current simulated time, pclocks
+	Start   int64  // wall clock at run start, UnixNano (0 = not started)
+	Beat    int64  // wall clock of the last probe update, UnixNano
+	Done    bool   // the watched run returned (completed or faulted)
+}
+
+// begin stamps the wall-clock start (first call only) and the heartbeat.
+func (p *Progress) begin(now Time, steps uint64) {
+	wall := time.Now().UnixNano()
+	p.start.CompareAndSwap(0, wall)
+	p.update(now, steps)
+}
+
+// update publishes the simulation's position and refreshes the heartbeat.
+func (p *Progress) update(now Time, steps uint64) {
+	p.events.Store(steps)
+	p.simTime.Store(int64(now))
+	p.beat.Store(time.Now().UnixNano())
+}
+
+// finish publishes the final position and marks the probe done.
+func (p *Progress) finish(now Time, steps uint64) {
+	p.update(now, steps)
+	p.done.Store(true)
+}
+
+// Snapshot reads the probe. Safe to call from any goroutine at any time,
+// including on a nil probe (which reads as zero).
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	return ProgressSnapshot{
+		Label:   p.Label,
+		Events:  p.events.Load(),
+		SimTime: p.simTime.Load(),
+		Start:   p.start.Load(),
+		Beat:    p.beat.Load(),
+		Done:    p.done.Load(),
+	}
+}
+
+// EventsPerSec derives the run's average event rate from the snapshot, or
+// 0 before the run has any wall-clock extent.
+func (s ProgressSnapshot) EventsPerSec() float64 {
+	if s.Start == 0 || s.Beat <= s.Start {
+		return 0
+	}
+	return float64(s.Events) / (float64(s.Beat-s.Start) / float64(time.Second))
+}
+
+// HeartbeatAge returns how stale the probe is relative to now: the time
+// since the simulation goroutine last published. A run that stopped
+// beating but is not Done is stuck inside a single event — invisible to
+// the event-counting watchdog, visible here.
+func (s ProgressSnapshot) HeartbeatAge(now time.Time) time.Duration {
+	if s.Beat == 0 {
+		return 0
+	}
+	return now.Sub(time.Unix(0, s.Beat))
+}
+
+// SetProgress attaches a probe to the engine; RunWatched publishes through
+// it. A nil probe detaches. Attach before the run starts: the engine
+// goroutine is the only writer thereafter.
+func (e *Engine) SetProgress(p *Progress) { e.progress = p }

@@ -40,7 +40,18 @@ type Watchdog struct {
 // fault's Snapshot carries only the blocked-agent list; callers with a
 // richer Snapshotter (the machine) replace it.
 func (e *Engine) RunWatched(w *Watchdog) *fault.SimFault {
+	// Publish to the live probe, if one is attached: once at entry, once
+	// every progressStride events, and once at exit. The per-event cost is
+	// one nil check and one masked compare — the hot path stays
+	// allocation-free and branch-cheap whether or not anyone is watching.
+	if e.progress != nil {
+		e.progress.begin(e.now, e.nsteps)
+		defer func() { e.progress.finish(e.now, e.nsteps) }()
+	}
 	for len(e.heap) > 0 {
+		if e.progress != nil && e.nsteps&(progressStride-1) == 0 {
+			e.progress.update(e.now, e.nsteps)
+		}
 		if w.MaxEvents > 0 && e.nsteps >= w.MaxEvents {
 			return e.watchdogFault(w, fault.KindMaxEvents,
 				fmt.Sprintf("event ceiling reached: %d events executed without completing", e.nsteps))

@@ -57,9 +57,16 @@ func (c *Collector) WatchGauge(name string, node int, fn func() int64) {
 // StartSampler schedules the first snapshot Options.SampleEvery pclocks from
 // now. Each tick reschedules itself only while the engine still has pending
 // events, so the sampler drains with the simulation instead of keeping it
-// alive. Sampling reads counters only; it never changes timing.
+// alive — an engine with no work at all (a zero-duration run) gets no tick
+// and no samples. Sampling reads counters only; it never changes timing.
+// Calling StartSampler again on a reused engine resumes cleanly: the
+// interval baseline resets to the engine's current time, so the first new
+// sample measures only the new run.
 func (c *Collector) StartSampler(eng *sim.Engine) {
 	if c == nil || (len(c.watches) == 0 && len(c.gauges) == 0) {
+		return
+	}
+	if eng.Pending() == 0 {
 		return
 	}
 	c.lastAt = eng.Now()

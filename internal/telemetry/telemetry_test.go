@@ -235,3 +235,89 @@ func TestPhaseTotals(t *testing.T) {
 		t.Fatal("totals for an absent kind should be nil")
 	}
 }
+
+// TestSamplerZeroDurationRun starts the sampler on an engine with no work:
+// the run is zero-duration, so the sampler must record nothing and must not
+// keep the engine alive past t=0.
+func TestSamplerZeroDurationRun(t *testing.T) {
+	eng := sim.NewEngine()
+	r := sim.NewResource(eng, "bus")
+	c := New(Options{SampleEvery: 10})
+	c.WatchResource("bus", 0, r)
+	c.StartSampler(eng)
+	eng.Run()
+	if len(c.Samples()) != 0 {
+		t.Fatalf("zero-duration run produced %d samples: %+v", len(c.Samples()), c.Samples())
+	}
+	if eng.Now() != 0 {
+		t.Fatalf("sampler advanced an empty engine to t=%d", eng.Now())
+	}
+	if _, dh := c.DepthHist(0); dh.Count() != 0 {
+		t.Fatalf("depth hist counted %d entries on a zero-duration run", dh.Count())
+	}
+}
+
+// TestDepthHistBounds checks DepthHist tolerates every out-of-range index
+// and a nil receiver instead of panicking.
+func TestDepthHistBounds(t *testing.T) {
+	c := New(Options{SampleEvery: 10})
+	eng := sim.NewEngine()
+	c.WatchResource("bus", 0, sim.NewResource(eng, "bus"))
+	for _, i := range []int{-1, 1, 2, 1 << 20} {
+		if name, dh := c.DepthHist(i); name != "" || dh.Count() != 0 {
+			t.Fatalf("DepthHist(%d) = %q, count %d; want empty", i, name, dh.Count())
+		}
+	}
+	if name, _ := c.DepthHist(0); name != "bus" {
+		t.Fatalf("DepthHist(0) = %q, want bus", name)
+	}
+	var nilC *Collector
+	if name, dh := nilC.DepthHist(0); name != "" || dh.Count() != 0 {
+		t.Fatal("nil collector DepthHist not inert")
+	}
+}
+
+// TestSamplerRestartOnEngineReuse runs two back-to-back workloads on one
+// engine with StartSampler called before each: the second start must reset
+// the interval baseline to the engine's current time, so the first sample
+// of the second run measures only the new interval (no negative or
+// double-counted utilization).
+func TestSamplerRestartOnEngineReuse(t *testing.T) {
+	eng := sim.NewEngine()
+	r := sim.NewResource(eng, "bus")
+	c := New(Options{SampleEvery: 10})
+	c.WatchResource("bus", 0, r)
+
+	// Run 1: bus busy [0,10), with a completion event keeping the engine
+	// populated through the interval.
+	r.Use(10, func() {})
+	c.StartSampler(eng)
+	eng.Run()
+	if n := len(c.Samples()); n != 1 {
+		t.Fatalf("run 1: %d samples, want 1", n)
+	}
+	if u := c.Samples()[0].Util[0]; u != 1.0 {
+		t.Fatalf("run 1 utilization = %g, want 1.0", u)
+	}
+
+	// Idle gap: the engine sits at t=10 with no events. Run 2 starts the
+	// sampler again with the bus idle for its whole interval.
+	eng.At(eng.Now()+20, func() {})
+	c.StartSampler(eng)
+	eng.Run()
+	samples := c.Samples()
+	if len(samples) != 3 {
+		t.Fatalf("after run 2: %d samples, want 3: %+v", len(samples), samples)
+	}
+	for _, s := range samples[1:] {
+		if s.Util[0] != 0 {
+			t.Fatalf("run 2 idle utilization = %g at t=%d, want 0 (stale baseline?)", s.Util[0], s.At)
+		}
+		if s.Util[0] < 0 || s.Util[0] > 1 {
+			t.Fatalf("utilization %g out of [0,1] at t=%d", s.Util[0], s.At)
+		}
+	}
+	if samples[1].At != 20 || samples[2].At != 30 {
+		t.Fatalf("run 2 sample times = %d, %d; want 20, 30", samples[1].At, samples[2].At)
+	}
+}

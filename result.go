@@ -109,6 +109,13 @@ type Result struct {
 	// Telemetry collector attached.
 	MissPhasePclocks map[string]int64 `json:",omitempty"`
 
+	// DroppedSpans counts telemetry spans discarded by the collector's
+	// MaxSpans cap. Nonzero means MissPhasePclocks and exported timelines
+	// undercount transactions; raise TelemetryOptions.MaxSpans to capture
+	// everything. Zero (and omitted from JSON) when telemetry was off or
+	// nothing overflowed.
+	DroppedSpans uint64 `json:",omitempty"`
+
 	// Extension activity.
 	PrefetchesIssued  uint64
 	PrefetchesUseful  uint64
@@ -154,6 +161,7 @@ func convertResult(cfg Config, r *machine.Result) *Result {
 		TotalPclocks:       r.TotalPclocks,
 		Resources:          convertResources(r),
 		MissPhasePclocks:   missPhases(cfg),
+		DroppedSpans:       cfg.Telemetry.DroppedSpans(),
 		PrefetchesIssued:   r.Prefetch.Issued,
 		PrefetchesUseful:   r.Prefetch.Useful,
 		PrefetchPartHits:   r.Prefetch.PartHits,

@@ -113,3 +113,50 @@ func TestResultJSONIncludesObservability(t *testing.T) {
 		}
 	}
 }
+
+// TestResultSurfacesDroppedSpans pins the span-overflow signal: a
+// collector capped far below the run's transaction count must report its
+// drops both through DroppedSpans() and in the Result (and therefore in
+// every -json/-metrics file), where a zero-drop run omits the field.
+func TestResultSurfacesDroppedSpans(t *testing.T) {
+	cfg := tinyCfg("mp3d")
+	cfg.Extensions = ccsim.Ext{P: true, CW: true}
+	cfg.Telemetry = ccsim.NewTelemetryWith(ccsim.TelemetryOptions{MaxSpans: 8})
+	r, err := ccsim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Telemetry.DroppedSpans(); got == 0 {
+		t.Fatal("8-span cap dropped nothing on an mp3d run")
+	}
+	if r.DroppedSpans != cfg.Telemetry.DroppedSpans() {
+		t.Fatalf("Result.DroppedSpans = %d, collector reports %d",
+			r.DroppedSpans, cfg.Telemetry.DroppedSpans())
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"DroppedSpans"`)) {
+		t.Fatal("DroppedSpans missing from Result JSON")
+	}
+
+	// An uncapped telemetry run of the same tiny workload drops nothing
+	// and omits the field from JSON.
+	clean := tinyCfg("mp3d")
+	clean.Telemetry = ccsim.NewTelemetry()
+	cr, err := ccsim.Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.DroppedSpans != 0 {
+		t.Fatalf("uncapped run dropped %d spans", cr.DroppedSpans)
+	}
+	cb, err := json.Marshal(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(cb, []byte(`"DroppedSpans"`)) {
+		t.Fatal("zero DroppedSpans not omitted from Result JSON")
+	}
+}

@@ -1,15 +1,16 @@
 #!/bin/sh
 # Tier-1 verification: everything must build, vet clean, and pass the full
-# test suite; the event engine, telemetry collector, and the parallel
-# experiment scheduler additionally run under the race detector (the
-# scheduler fans ccsim.Run calls across goroutines, so exp's tests are the
-# race-sensitive surface). CI and `make verify` both run this.
+# test suite; the event engine, telemetry collector, ops plane, and the
+# parallel experiment scheduler additionally run under the race detector
+# (the scheduler fans ccsim.Run calls across goroutines and the ops server
+# scrapes them live, so exp and ops are the race-sensitive surface). CI and
+# `make verify` both run this.
 set -eux
 
 go build ./...
 go vet ./...
 go test ./...
-go test -race -short ccsim/internal/sim ccsim/internal/telemetry ccsim/internal/fault ccsim/exp
+go test -race -short ccsim/internal/sim ccsim/internal/telemetry ccsim/internal/fault ccsim/internal/ops ccsim/exp
 
 # Watchdog smoke: a generous event ceiling must not disturb a clean run,
 # and a far-too-tight one must abort with a structured fault (non-zero
@@ -21,3 +22,27 @@ if /tmp/ccsim-verify -workload mp3d -scale 0.05 -procs 4 -max-events 1000 > /dev
     exit 1
 fi
 rm -f /tmp/ccsim-verify
+
+# Tier-2 metrics regression gate: regenerate the golden grid (Table 2 at a
+# small fixed scale) and require every metric to match the committed
+# baseline exactly — the simulator is deterministic, so any drift is a
+# behavior change. `make golden` refreshes the baseline after an
+# intentional one.
+go build -o /tmp/metricsdiff-verify ./cmd/metricsdiff
+go build -o /tmp/experiments-verify ./cmd/experiments
+rm -rf /tmp/ccsim-metrics-check
+/tmp/experiments-verify -exp table2 -scale 0.05 -procs 4 -q -metrics /tmp/ccsim-metrics-check > /dev/null
+/tmp/metricsdiff-verify golden /tmp/ccsim-metrics-check
+
+# Gate self-check: the baseline must pass against itself, and a perturbed
+# copy must fail — proves the gate can actually catch a regression.
+/tmp/metricsdiff-verify golden golden > /dev/null
+rm -rf /tmp/ccsim-metrics-perturbed
+cp -r golden /tmp/ccsim-metrics-perturbed
+sed -i 's/"ExecTime": [0-9]*/"ExecTime": 1/' /tmp/ccsim-metrics-perturbed/mp3d_BASIC_p4_x0.05.json
+if /tmp/metricsdiff-verify golden /tmp/ccsim-metrics-perturbed > /dev/null 2>&1; then
+    echo "metricsdiff self-check: perturbed baseline was not rejected" >&2
+    exit 1
+fi
+rm -rf /tmp/ccsim-metrics-check /tmp/ccsim-metrics-perturbed
+rm -f /tmp/metricsdiff-verify /tmp/experiments-verify
