@@ -29,7 +29,9 @@ import (
 	"fmt"
 	"io"
 	"runtime/debug"
+	"strings"
 
+	"ccsim/internal/check"
 	"ccsim/internal/core"
 	"ccsim/internal/machine"
 	"ccsim/internal/proc"
@@ -147,9 +149,28 @@ type Config struct {
 	// (e.g. "mp3d/P+CW"), makes the simulation panic deliberately shortly
 	// after it starts. It exists to exercise the fault-containment path
 	// end to end: the panic surfaces as a *SimFault like any real protocol
-	// bug. Leave empty for normal runs.
+	// bug. The extended form "<mutation>@<workload/protocol>" (e.g.
+	// "wb-drop-word@mp3d/BASIC") instead arms a one-shot protocol mutation
+	// — a single deliberately wrong transition — to prove the live checker
+	// catches real protocol bugs at the offending event (see Config.Check).
+	// Leave empty for normal runs.
 	FaultInject string
+
+	// Check, when non-nil, attaches the live coherence checker: shadow
+	// directory/cache/write-cache state plus a sequential value oracle,
+	// asserted at every protocol transition. The first violated invariant
+	// fails the run with a *SimFault naming the message, block and
+	// transition (AsFault recovers it). Implies VerifyData. Leave nil for
+	// zero overhead; use a fresh NewChecker per run.
+	Check *Checker
 }
+
+// Checker is the live coherence checker attached via Config.Check; create
+// one with NewChecker. See internal/check for the invariants it asserts.
+type Checker = check.Oracle
+
+// NewChecker returns a live coherence checker for one run.
+func NewChecker() *Checker { return check.New() }
 
 // DefaultConfig returns the paper's baseline: 16 processors, BASIC protocol
 // under release consistency, uniform network, infinite SLC.
@@ -202,9 +223,17 @@ func (c Config) machineConfig() machine.Config {
 		NoProgressEvents: c.NoProgressEvents,
 		FlightRecorder:   c.FlightRecorder,
 		Progress:         c.Progress,
+		Check:            c.Check,
 	}
-	if c.FaultInject != "" && c.FaultInject == c.Workload+"/"+c.ProtocolName() {
-		mc.InjectPanic = true
+	if c.FaultInject != "" {
+		ident := c.Workload + "/" + c.ProtocolName()
+		if kind, target, cut := strings.Cut(c.FaultInject, "@"); cut {
+			if target == ident {
+				mc.Core.Mutate = kind
+			}
+		} else if c.FaultInject == ident {
+			mc.InjectPanic = true
+		}
 	}
 	if c.Net == Mesh {
 		mc.Net = machine.NetMesh

@@ -77,6 +77,7 @@ func run() int {
 	in := flag.String("in", "", "run a trace file (see ccsim.ParseTrace) instead of a named workload")
 	dump := flag.String("dump", "", "write the selected workload as a trace file and exit")
 	verify := flag.Bool("verify", false, "check the data-value invariant of coherence during the run")
+	liveCheck := flag.Bool("check", false, "attach the live coherence checker: shadow-state invariants asserted at every protocol transition (implies -verify)")
 	traceOut := flag.String("trace", "", "stream a protocol trace to this file (\"-\" = stderr)")
 	traceAddrs := flag.String("traceaddrs", "", "comma-separated byte addresses restricting the trace")
 	jsonOut := flag.Bool("json", false, "print the full result as JSON instead of the text report")
@@ -114,6 +115,9 @@ func run() int {
 	cfg.SLWBEntries = *slwb
 	cfg.LinkBits = *link
 	cfg.VerifyData = *verify
+	if *liveCheck {
+		cfg.Check = ccsim.NewChecker()
+	}
 	cfg.MaxEvents = *maxEvents
 	cfg.Deadline = *deadline
 	switch *netKind {
@@ -222,6 +226,12 @@ func run() int {
 			logger.Error("run failed", "workload", cfg.Workload, "err", err)
 		}
 		return 1
+	}
+
+	// The checker's verdict goes to stderr so stdout stays byte-identical
+	// with and without -check.
+	if cfg.Check != nil {
+		logger.Info("live coherence checker passed", "assertions", cfg.Check.Checks())
 	}
 
 	// Span-buffer overflow silently truncates timelines and phase totals;

@@ -85,6 +85,7 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	injectFault := flag.String("inject-fault", "", `crash the run matching "workload/protocol" (e.g. mp3d/P+CW) to exercise fault containment`)
+	liveCheck := flag.Bool("check", false, "attach the live coherence checker to every run (validation sweeps; slower, disables run dedup)")
 	maxEvents := flag.Uint64("max-events", 0, "abort any single run after this many events (0 = unlimited)")
 	deadline := flag.Int64("deadline", 0, "abort any single run past this simulated time in pclocks (0 = unlimited)")
 	flag.Parse()
@@ -111,6 +112,7 @@ func run() int {
 	o := exp.Options{
 		Scale: *scale, Procs: *procs, MetricsDir: *metrics, Sched: sched,
 		InjectFault: *injectFault, MaxEvents: *maxEvents, Deadline: *deadline,
+		Check: *liveCheck,
 	}
 	runExp := func(name string, fn func() error) error {
 		t0 := time.Now()

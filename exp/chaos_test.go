@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ccsim"
+	"ccsim/internal/litmus"
 )
 
 // TestChaos is the randomized robustness sweep: every protocol-extension
@@ -80,5 +81,44 @@ func TestChaos(t *testing.T) {
 	}
 	if faulted := s.Failed(); len(faulted) > 0 {
 		t.Logf("%d of %d chaos cells faulted", len(faulted), len(grid))
+	}
+}
+
+// TestChaosLitmus is the litmus sub-mode of the chaos sweep: seeded
+// random-walk micro-programs and the fixed litmus shapes, each run under a
+// deterministically drawn protocol cell with the live coherence checker
+// attached. A failing program is delta-minimized before it is reported, so
+// the failure message carries the shortest reproducing sequence.
+func TestChaosLitmus(t *testing.T) {
+	rng := rand.New(rand.NewSource(1994))
+	cells := litmus.Cells()
+	type job struct {
+		p    litmus.Program
+		cell litmus.Cell
+	}
+	var jobs []job
+	// Every fixed shape under two random cells each.
+	for _, mk := range litmus.Shapes() {
+		for i := 0; i < 2; i++ {
+			jobs = append(jobs, job{mk(), cells[rng.Intn(len(cells))]})
+		}
+	}
+	// Random walks: varied shape parameters, one drawn cell per walk.
+	walks := 12
+	if testing.Short() {
+		walks = 4
+	}
+	for i := 0; i < walks; i++ {
+		p := litmus.RandomWalk(int64(1000+i), 2+rng.Intn(3), 2+rng.Intn(5), 20+rng.Intn(30))
+		jobs = append(jobs, job{p, cells[rng.Intn(len(cells))]})
+	}
+	for _, j := range jobs {
+		err := litmus.Run(j.p, j.cell)
+		if err == nil {
+			continue
+		}
+		min := litmus.Minimize(j.p, j.cell, 100)
+		t.Errorf("litmus %s under %s failed (%s); minimized to %d ops: %+v\nerror: %v",
+			j.p.Name, j.cell.Name(), litmus.FailureClass(err), min.OpCount(), min.Threads, err)
 	}
 }

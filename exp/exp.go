@@ -98,6 +98,13 @@ type Options struct {
 	// run with a SimFault instead of hanging the sweep.
 	MaxEvents uint64
 	Deadline  int64
+
+	// Check attaches a fresh live coherence checker (ccsim.Config.Check)
+	// to every run in the sweep: each simulation's protocol transitions
+	// are asserted against shadow state, and the first violation aborts
+	// that run with a SimFault. Checked runs bypass the scheduler's dedup
+	// cache and cost simulation speed; meant for validation sweeps.
+	Check bool
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -111,6 +118,9 @@ func (o Options) config(wl string) ccsim.Config {
 	cfg.FaultInject = o.InjectFault
 	cfg.MaxEvents = o.MaxEvents
 	cfg.Deadline = o.Deadline
+	if o.Check {
+		cfg.Check = ccsim.NewChecker()
+	}
 	return cfg
 }
 

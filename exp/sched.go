@@ -195,6 +195,11 @@ func (s *Scheduler) exec(p *Pending, cfg ccsim.Config) {
 		prog = &ccsim.Progress{Label: cfg.Workload + "/" + cfg.ProtocolName()}
 		cfg.Progress = prog
 	}
+	if cfg.Check != nil {
+		// A checker holds per-run shadow state; sweeps copy one base config
+		// across many concurrent cells, so each run gets its own oracle.
+		cfg.Check = ccsim.NewChecker()
+	}
 	s.mu.Lock()
 	s.queued--
 	s.nextID++
@@ -249,10 +254,10 @@ func (p *Pending) Cell() *ccsim.Result {
 
 // Fingerprint canonicalizes cfg into the scheduler's cache key. The second
 // return is false when the configuration cannot be cached (it carries a
-// trace, telemetry or progress side channel, so running it has observable
-// effects beyond the Result).
+// trace, telemetry, progress or live-checker side channel, so running it
+// has observable effects beyond the Result).
 func Fingerprint(cfg ccsim.Config) (string, bool) {
-	if cfg.TraceWriter != nil || cfg.Telemetry != nil || cfg.Progress != nil {
+	if cfg.TraceWriter != nil || cfg.Telemetry != nil || cfg.Progress != nil || cfg.Check != nil {
 		return "", false
 	}
 	scale := cfg.Scale

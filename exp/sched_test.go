@@ -135,6 +135,11 @@ func TestSchedulerUncacheable(t *testing.T) {
 	if _, ok := Fingerprint(probed); ok {
 		t.Fatal("config with Progress probe fingerprinted as cacheable")
 	}
+	checked := tiny().config("mp3d")
+	checked.Check = ccsim.NewChecker()
+	if _, ok := Fingerprint(checked); ok {
+		t.Fatal("config with live checker fingerprinted as cacheable")
+	}
 	s := NewScheduler(2, "")
 	if s.Submit(cfg) == s.Submit(cfg) {
 		t.Fatal("uncacheable submissions shared a run")
@@ -306,5 +311,28 @@ func TestSchedulerStatsFailed(t *testing.T) {
 	}
 	if len(s.Failed()) != 1 {
 		t.Fatalf("ledger holds %d entries", len(s.Failed()))
+	}
+}
+
+// TestCheckedSweepRuns pins Options.Check end to end: the option attaches a
+// live checker to every generated config, checked submissions bypass the
+// dedup cache, and a clean workload passes under the checker through the
+// scheduler path.
+func TestCheckedSweepRuns(t *testing.T) {
+	o := tiny()
+	o.Check = true
+	cfg := o.config("mp3d")
+	if cfg.Check == nil {
+		t.Fatal("Options.Check did not attach a checker")
+	}
+	s := NewScheduler(2, "")
+	a, b := s.Submit(cfg), s.Submit(cfg)
+	if a == b {
+		t.Fatal("checked submissions shared a run")
+	}
+	for _, p := range []*Pending{a, b} {
+		if _, err := p.Wait(); err != nil {
+			t.Fatalf("checked run failed: %v", err)
+		}
 	}
 }

@@ -20,6 +20,10 @@ const (
 	FaultDeadline  = fault.KindDeadline
 	FaultDeadlock  = fault.KindDeadlock
 	FaultLivelock  = fault.KindLivelock
+	// FaultInvariant is the live coherence checker (Config.Check): a
+	// shadow-state invariant failed at the protocol transition that broke
+	// it.
+	FaultInvariant = fault.KindInvariant
 )
 
 // AsFault extracts the *SimFault from an error returned by Run (directly

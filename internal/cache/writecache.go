@@ -39,6 +39,17 @@ func (w *WriteCache) idx(b memsys.Block) int {
 // Write records a write to word word of block b, allocating a frame if
 // needed. If the frame held a different block, that block is victimized and
 // returned so the controller can flush it to home.
+//
+// Accounting contract: every call counts as exactly one write (the
+// processor committed a write to the cache), a call that merges into an
+// already-allocated entry additionally counts as combined, and a call that
+// victimizes another block additionally counts as an eviction — so
+// writes == allocations + combined, and combined/writes is the combining
+// rate. A caller that may back off (the SLC controller stalls the write
+// when WouldEvict finds the second-level write buffer full) must consult
+// WouldEvict *before* calling Write: WouldEvict is a pure query and
+// counts nothing, so a stalled-and-retried write is counted once, when it
+// finally commits.
 func (w *WriteCache) Write(b memsys.Block, word int) (victim WCEntry, evicted bool) {
 	w.writes++
 	e := &w.entries[w.idx(b)]

@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"testing"
+
+	"ccsim/internal/memsys"
+)
+
+// TestWriteCacheAccounting pins the statistics contract documented on
+// Write: writes counts one per committed call, combined counts merges into
+// an allocated entry, evictions counts victimized frames, and
+// writes == allocations + combined.
+func TestWriteCacheAccounting(t *testing.T) {
+	w := NewWriteCache(2)
+	if v, ev := w.Write(10, 0); ev {
+		t.Fatalf("first write evicted %+v", v)
+	}
+	w.Write(10, 1) // merge
+	w.Write(10, 1) // merge again (idempotent word)
+	if v, ev := w.Write(12, 3); !ev || v.Block != 10 {
+		t.Fatalf("conflicting write: victim %+v evicted=%v, want block 10", v, ev)
+	}
+	if got := w.Writes(); got != 4 {
+		t.Errorf("Writes() = %d, want 4", got)
+	}
+	if got := w.Combined(); got != 2 {
+		t.Errorf("Combined() = %d, want 2", got)
+	}
+	if got := w.Evictions(); got != 1 {
+		t.Errorf("Evictions() = %d, want 1", got)
+	}
+	// allocations = writes - combined = 2 (blocks 10 and 12).
+	if allocs := w.Writes() - w.Combined(); allocs != 2 {
+		t.Errorf("allocations = %d, want 2", allocs)
+	}
+	mask, ok := w.Lookup(12)
+	if !ok || mask != memsys.WordMask(0).Set(3) {
+		t.Errorf("Lookup(12) = %v, %v; want word-3 mask", mask, ok)
+	}
+}
+
+// TestWriteCacheQueriesCountNothing pins that WouldEvict, Lookup, Remove,
+// DrainAll and Occupancy never touch the statistics — the controller
+// consults WouldEvict before every potentially-stalling write, and a
+// stalled-then-retried write must be counted exactly once.
+func TestWriteCacheQueriesCountNothing(t *testing.T) {
+	w := NewWriteCache(1)
+	w.Write(5, 0)
+	for i := 0; i < 3; i++ {
+		// A stalled controller re-queries every retry; none of this counts.
+		if !w.WouldEvict(6) {
+			t.Fatalf("WouldEvict(6) = false with block 5 resident")
+		}
+		if w.WouldEvict(5) {
+			t.Fatalf("WouldEvict(5) = true for the resident block")
+		}
+		w.Lookup(5)
+		w.Occupancy()
+	}
+	if w.Writes() != 1 || w.Combined() != 0 || w.Evictions() != 0 {
+		t.Fatalf("queries moved counters: writes=%d combined=%d evictions=%d",
+			w.Writes(), w.Combined(), w.Evictions())
+	}
+	if _, ok := w.Remove(5); !ok {
+		t.Fatalf("Remove(5) missed")
+	}
+	w.Write(7, 2)
+	w.DrainAll()
+	if w.Writes() != 2 || w.Evictions() != 0 {
+		t.Fatalf("Remove/DrainAll are not evictions: writes=%d evictions=%d",
+			w.Writes(), w.Evictions())
+	}
+}
+
+// TestWriteCacheVictimCarriesMask pins that an evicted entry surfaces the
+// full dirty-word mask accumulated by combining, and the new entry starts
+// with only its own word.
+func TestWriteCacheVictimCarriesMask(t *testing.T) {
+	w := NewWriteCache(1)
+	w.Write(3, 1)
+	w.Write(3, 4)
+	w.Write(3, 7)
+	victim, ev := w.Write(9, 0)
+	if !ev {
+		t.Fatalf("no eviction on conflict")
+	}
+	want := memsys.WordMask(0).Set(1).Set(4).Set(7)
+	if victim.Block != 3 || victim.Mask != want {
+		t.Fatalf("victim = %+v, want block 3 mask %v", victim, want)
+	}
+	mask, ok := w.Lookup(9)
+	if !ok || mask != memsys.WordMask(0).Set(0) {
+		t.Fatalf("new entry mask = %v, want word-0 only", mask)
+	}
+}

@@ -1,0 +1,318 @@
+// Package check implements the live coherence checker: a transition-time
+// oracle that mirrors the protocol's architectural state in shadow
+// structures and asserts the coherence invariants at every SLC and home
+// (directory) state transition, instead of once at end-of-run quiescence.
+//
+// The oracle maintains, per memory block:
+//
+//   - a directory shadow (MODIFIED/CLEAN, owner, presence vector), updated
+//     from a hook after every directory mutation;
+//   - a cache shadow (which nodes hold a copy, and whether it is dirty),
+//     updated at every SLC install, upgrade, downgrade and invalidation;
+//   - a write-cache shadow (the per-word dirty mask each node's write
+//     cache should carry), updated at every combining write and flush;
+//   - a sequential value oracle (the high-water version of every word),
+//     advanced at each write's global serialization point.
+//
+// At each hook it asserts the invariants that hold at *every instant* of
+// this protocol, not just at quiescence: at most one dirty copy per block
+// (SWMR); a dirty copy only at the registered owner of a MODIFIED entry;
+// the presence vector a superset of the actual holders; in MODIFIED state
+// the presence vector a subset of {owner}; write-cache masks agreeing with
+// the shadow; versions serializing without gaps; and no read observing a
+// version above the serialization high-water mark.
+//
+// A violation panics with a structured *fault.SimFault (KindInvariant)
+// naming the protocol message being handled, the block and the transition
+// — ccsim.Run recovers it into the ordinary fault path, so the dump
+// carries the machine snapshot and the flight-recorder tail for the exact
+// event where coherence first broke.
+//
+// The package is a leaf over fault and memsys so internal/core can hook it
+// without cycles. A disabled checker is a nil pointer in core.System; every
+// hook site is guarded by one nil check, the same zero-cost-off pattern as
+// the tracer and the flight recorder.
+package check
+
+import (
+	"fmt"
+
+	"ccsim/internal/fault"
+	"ccsim/internal/memsys"
+)
+
+// Obs is one data observation: a processor reading or serializing a word
+// version. The litmus harness reconstructs consistency outcomes from these.
+type Obs struct {
+	Node  int
+	Block memsys.Block
+	Word  int
+	Ver   int64
+	Write bool // true: a write serialized; false: a processor read
+}
+
+// dirShadow mirrors one block's directory entry as last reported by its
+// home.
+type dirShadow struct {
+	known    bool
+	modified bool
+	owner    int
+	presence uint64
+}
+
+// Oracle is the live checker's shadow state for one run. Attach one oracle
+// to one run only: Reset rebinds it, but a run mutates it freely from the
+// simulation goroutine.
+type Oracle struct {
+	nodes int
+	dir   map[memsys.Block]dirShadow
+	// lines[n][b] is true when node n's shadow copy of b is dirty.
+	lines []map[memsys.Block]bool
+	wc    []map[memsys.Block]memsys.WordMask
+	hwm   map[memsys.Block]*memsys.BlockData
+
+	// Dispatch context: the protocol message whose handling triggered the
+	// current hooks; a violation is attributed to it.
+	ctxValid  bool
+	ctxMsg    string
+	ctxBlock  memsys.Block
+	ctxDst    int
+	ctxToHome bool
+
+	checks uint64
+
+	// LogObs, when set before the run, records every read observation and
+	// write serialization in per-node program order for the litmus
+	// harness's outcome predicates.
+	LogObs bool
+	obs    [][]Obs
+}
+
+// New returns an idle oracle; the machine calls Reset when the run is
+// assembled.
+func New() *Oracle { return &Oracle{} }
+
+// Reset binds the oracle to a fresh run over the given node count,
+// discarding all shadow state.
+func (o *Oracle) Reset(nodes int) {
+	o.nodes = nodes
+	o.dir = make(map[memsys.Block]dirShadow)
+	o.lines = make([]map[memsys.Block]bool, nodes)
+	o.wc = make([]map[memsys.Block]memsys.WordMask, nodes)
+	for i := 0; i < nodes; i++ {
+		o.lines[i] = make(map[memsys.Block]bool)
+		o.wc[i] = make(map[memsys.Block]memsys.WordMask)
+	}
+	o.hwm = make(map[memsys.Block]*memsys.BlockData)
+	o.ctxValid = false
+	o.checks = 0
+	o.obs = make([][]Obs, nodes)
+}
+
+// Checks returns how many transition-time assertions the oracle evaluated.
+func (o *Oracle) Checks() uint64 { return o.checks }
+
+// Observations returns node n's observation log (LogObs must have been
+// set), in per-node program order.
+func (o *Oracle) Observations(n int) []Obs { return o.obs[n] }
+
+// OnDispatch records the protocol message now being handled; violations
+// raised until the next dispatch are attributed to it.
+func (o *Oracle) OnDispatch(msg string, b memsys.Block, dst int, toHome bool) {
+	o.ctxMsg, o.ctxBlock, o.ctxDst, o.ctxToHome, o.ctxValid = msg, b, dst, toHome, true
+}
+
+// violate raises a structured invariant fault for block b attributed to
+// the given component ("" derives it from the dispatch context).
+func (o *Oracle) violate(component string, b memsys.Block, format string, args ...any) {
+	f := &fault.SimFault{
+		Kind:     fault.KindInvariant,
+		Block:    uint64(b),
+		HasBlock: true,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	if component == "" && o.ctxValid {
+		if o.ctxToHome {
+			component = fmt.Sprintf("home %d", o.ctxDst)
+		} else {
+			component = fmt.Sprintf("cache %d", o.ctxDst)
+		}
+	}
+	f.Component = component
+	if o.ctxValid {
+		f.MsgKind = o.ctxMsg
+	}
+	panic(f)
+}
+
+// Failf lets the hooked code raise an invariant violation it detected
+// itself (FLC inclusion, data-value regressions) through the same
+// structured fault path. component may be empty to use the dispatch
+// context.
+func (o *Oracle) Failf(component string, b memsys.Block, format string, args ...any) {
+	o.violate(component, b, format, args...)
+}
+
+// OnLine records that node's SLC now holds b (dirty or shared) after the
+// named transition, and asserts directory-cache agreement for the new
+// state.
+func (o *Oracle) OnLine(node int, b memsys.Block, dirty bool, event string) {
+	o.checks++
+	o.lines[node][b] = dirty
+	d := o.dir[b]
+	if dirty {
+		// SWMR: no other node may hold a dirty copy at any instant.
+		for n := 0; n < o.nodes; n++ {
+			if n != node && o.lines[n][b] {
+				o.violate("", b, "%s: node %d turned block %d dirty while node %d already holds it dirty (SWMR)",
+					event, node, b, n)
+			}
+		}
+		// A dirty copy exists only at the registered owner of a MODIFIED
+		// entry — the home always registers the grant before the ack can
+		// arrive.
+		if !d.known || !d.modified || d.owner != node {
+			o.violate("", b, "%s: node %d holds block %d dirty but directory is %s",
+				event, node, b, d.describe())
+		}
+	} else if d.modified && d.owner != node {
+		// A shared copy under a MODIFIED entry is legal only at the owner
+		// (the instant between its downgrade and the home's transition).
+		o.violate("", b, "%s: node %d holds block %d shared but directory is %s",
+			event, node, b, d.describe())
+	}
+	if d.known && d.presence&(1<<uint(node)) == 0 {
+		o.violate("", b, "%s: node %d holds block %d outside the presence vector (%s)",
+			event, node, b, d.describe())
+	}
+}
+
+// OnLineDrop records that node's SLC no longer holds b (invalidation or
+// replacement).
+func (o *Oracle) OnLineDrop(node int, b memsys.Block, event string) {
+	o.checks++
+	delete(o.lines[node], b)
+}
+
+func (d dirShadow) describe() string {
+	if !d.known {
+		return "untracked"
+	}
+	if d.modified {
+		return fmt.Sprintf("MODIFIED owner %d presence %#x", d.owner, d.presence)
+	}
+	return fmt.Sprintf("CLEAN presence %#x", d.presence)
+}
+
+// OnDirState records block b's directory entry after the named transition
+// at its home, and asserts the directory-side invariants against the cache
+// shadow.
+func (o *Oracle) OnDirState(home int, b memsys.Block, modified bool, owner int, presence uint64, event string) {
+	o.checks++
+	if h := memsys.HomeOf(b, o.nodes); h != home {
+		o.violate("", b, "%s: directory entry for block %d mutated at node %d, home is %d",
+			event, b, home, h)
+	}
+	o.dir[b] = dirShadow{known: true, modified: modified, owner: owner, presence: presence}
+	if modified {
+		if owner < 0 || owner >= o.nodes {
+			o.violate("", b, "%s: block %d MODIFIED with owner %d out of range", event, b, owner)
+		}
+		// In MODIFIED state the presence vector collapses to at most the
+		// owner, and no other node may hold any copy.
+		if presence&^(1<<uint(owner)) != 0 {
+			o.violate("", b, "%s: block %d MODIFIED owner %d but presence %#x tracks other nodes",
+				event, b, owner, presence)
+		}
+		for n := 0; n < o.nodes; n++ {
+			if n != owner {
+				if _, held := o.lines[n][b]; held {
+					o.violate("", b, "%s: block %d granted MODIFIED to %d while node %d still holds a copy",
+						event, b, owner, n)
+				}
+			}
+		}
+		return
+	}
+	// CLEAN: no dirty copy anywhere, and presence a superset of holders.
+	for n := 0; n < o.nodes; n++ {
+		dirty, held := o.lines[n][b]
+		if !held {
+			continue
+		}
+		if dirty {
+			o.violate("", b, "%s: block %d CLEAN at home while node %d holds it dirty", event, b, n)
+		}
+		if presence&(1<<uint(n)) == 0 {
+			o.violate("", b, "%s: block %d presence %#x dropped node %d which still holds a copy",
+				event, b, presence, n)
+		}
+	}
+}
+
+// OnWCWrite records a combining write of word w into node's write cache
+// and asserts the real per-word dirty mask matches the shadow.
+func (o *Oracle) OnWCWrite(node int, b memsys.Block, w int, got memsys.WordMask) {
+	o.checks++
+	want := o.wc[node][b].Set(w)
+	o.wc[node][b] = want
+	if got != want {
+		o.violate("", b, "write cache: node %d block %d word %d: dirty mask %s, shadow %s",
+			node, b, w, got, want)
+	}
+}
+
+// OnWCFlush records node's write cache giving up its entry for b (update
+// issue, victimization or fence drain) and asserts the flushed mask is the
+// shadow mask and nonempty — a combined update must carry exactly the
+// words that were written.
+func (o *Oracle) OnWCFlush(node int, b memsys.Block, got memsys.WordMask, event string) {
+	o.checks++
+	want, held := o.wc[node][b]
+	delete(o.wc[node], b)
+	if !held {
+		o.violate("", b, "%s: node %d flushed write-cache block %d the shadow never saw written", event, node, b)
+	}
+	if got != want || got == 0 {
+		o.violate("", b, "%s: node %d flushed block %d with mask %s, shadow %s",
+			event, node, b, got, want)
+	}
+}
+
+// OnWrite records a write to (b, w) serializing as version ver and asserts
+// the global serialization order has no gaps or replays: each location's
+// versions advance exactly one at a time.
+func (o *Oracle) OnWrite(node int, b memsys.Block, w int, ver int64) {
+	o.checks++
+	c := o.hwm[b]
+	if c == nil {
+		c = &memsys.BlockData{}
+		o.hwm[b] = c
+	}
+	if ver != c[w]+1 {
+		o.violate("", b, "write by node %d to block %d word %d serialized as version %d after %d",
+			node, b, w, ver, c[w])
+	}
+	c[w] = ver
+	if o.LogObs {
+		o.obs[node] = append(o.obs[node], Obs{Node: node, Block: b, Word: w, Ver: ver, Write: true})
+	}
+}
+
+// OnRead records a processor observing version ver of (b, w) and asserts
+// it does not exceed the serialization high-water mark — a version from
+// the future means a data path fabricated or double-applied a write.
+func (o *Oracle) OnRead(node int, b memsys.Block, w int, ver int64) {
+	o.checks++
+	if c := o.hwm[b]; ver > 0 && (c == nil || ver > c[w]) {
+		hw := int64(0)
+		if c != nil {
+			hw = c[w]
+		}
+		o.violate("", b, "node %d read block %d word %d version %d beyond serialization high-water %d",
+			node, b, w, ver, hw)
+	}
+	if o.LogObs {
+		o.obs[node] = append(o.obs[node], Obs{Node: node, Block: b, Word: w, Ver: ver})
+	}
+}

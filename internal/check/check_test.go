@@ -1,0 +1,221 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"ccsim/internal/fault"
+	"ccsim/internal/memsys"
+)
+
+// mustFault runs fn expecting it to panic with a *fault.SimFault and
+// returns the fault.
+func mustFault(t *testing.T, fn func()) *fault.SimFault {
+	t.Helper()
+	var got *fault.SimFault
+	func() {
+		defer func() {
+			v := recover()
+			if v == nil {
+				t.Fatalf("expected an invariant fault, got none")
+			}
+			f, ok := v.(*fault.SimFault)
+			if !ok {
+				t.Fatalf("panic value %T, want *fault.SimFault", v)
+			}
+			got = f
+		}()
+		fn()
+	}()
+	if got.Kind != fault.KindInvariant {
+		t.Fatalf("fault kind %q, want %q", got.Kind, fault.KindInvariant)
+	}
+	if !got.HasBlock {
+		t.Fatalf("invariant fault without a block")
+	}
+	return got
+}
+
+func TestCleanTransitionsPass(t *testing.T) {
+	o := New()
+	o.Reset(4)
+	b := memsys.Block(0)
+	// Read share: home adds the sharer, the reply installs a shared copy.
+	o.OnDirState(0, b, false, -1, 1<<2, "read-share")
+	o.OnLine(2, b, false, "install")
+	// Ownership: the sharer upgrades; home registers the grant first.
+	o.OnDirState(0, b, true, 2, 1<<2, "grant")
+	o.OnLine(2, b, true, "own-upgrade")
+	// Writeback: the owner drops its copy, then home goes clean and empty.
+	o.OnLineDrop(2, b, "replace")
+	o.OnDirState(0, b, false, -1, 0, "writeback")
+	if o.Checks() == 0 {
+		t.Fatalf("no checks counted")
+	}
+}
+
+func TestSWMRViolation(t *testing.T) {
+	o := New()
+	o.Reset(4)
+	b := memsys.Block(0)
+	o.OnDirState(0, b, true, 1, 1<<1, "grant")
+	o.OnLine(1, b, true, "install")
+	f := mustFault(t, func() {
+		// A second dirty copy without the first dropping is a SWMR break
+		// even though the directory was (bogusly) retargeted.
+		o.OnLine(3, b, true, "install")
+	})
+	if !strings.Contains(f.Message, "SWMR") && !strings.Contains(f.Message, "directory") {
+		t.Fatalf("unexpected message: %s", f.Message)
+	}
+}
+
+func TestDirtyNeedsModifiedOwner(t *testing.T) {
+	o := New()
+	o.Reset(2)
+	b := memsys.Block(0)
+	o.OnDirState(0, b, false, -1, 1, "read-share")
+	f := mustFault(t, func() { o.OnLine(0, b, true, "bogus-upgrade") })
+	if !strings.Contains(f.Message, "CLEAN") {
+		t.Fatalf("unexpected message: %s", f.Message)
+	}
+}
+
+func TestPresenceSupersetViolation(t *testing.T) {
+	o := New()
+	o.Reset(4)
+	b := memsys.Block(0)
+	o.OnDirState(0, b, false, -1, 1<<3, "read-share")
+	o.OnLine(3, b, false, "install")
+	// Home drops node 3's bit while it still holds the copy.
+	f := mustFault(t, func() { o.OnDirState(0, b, false, -1, 0, "bogus-clear") })
+	if !strings.Contains(f.Message, "presence") {
+		t.Fatalf("unexpected message: %s", f.Message)
+	}
+}
+
+func TestInstallOutsidePresence(t *testing.T) {
+	o := New()
+	o.Reset(4)
+	b := memsys.Block(0)
+	o.OnDirState(0, b, false, -1, 1<<1, "read-share")
+	// The reply installs at node 2 but only node 1's bit is set — the
+	// skip-sharer mutation's signature.
+	f := mustFault(t, func() { o.OnLine(2, b, false, "install") })
+	if !strings.Contains(f.Message, "presence") {
+		t.Fatalf("unexpected message: %s", f.Message)
+	}
+}
+
+func TestModifiedGrantWithStrayCopy(t *testing.T) {
+	o := New()
+	o.Reset(4)
+	b := memsys.Block(0)
+	o.OnDirState(0, b, false, -1, (1<<1)|(1<<2), "read-share")
+	o.OnLine(1, b, false, "install")
+	o.OnLine(2, b, false, "install")
+	// Granting exclusivity to 1 while 2 never acknowledged an invalidation.
+	f := mustFault(t, func() { o.OnDirState(0, b, true, 1, 1<<1, "grant") })
+	if !strings.Contains(f.Message, "still holds") {
+		t.Fatalf("unexpected message: %s", f.Message)
+	}
+}
+
+func TestWrongHome(t *testing.T) {
+	o := New()
+	o.Reset(2)
+	// Block 128 lives on page 1, homed at node 1 of 2.
+	f := mustFault(t, func() { o.OnDirState(0, memsys.Block(128), false, -1, 0, "read-share") })
+	if !strings.Contains(f.Message, "home") {
+		t.Fatalf("unexpected message: %s", f.Message)
+	}
+}
+
+func TestWriteCacheMaskConsistency(t *testing.T) {
+	o := New()
+	o.Reset(1)
+	b := memsys.Block(0)
+	o.OnWCWrite(0, b, 2, memsys.WordMask(0).Set(2))
+	o.OnWCWrite(0, b, 5, memsys.WordMask(0).Set(2).Set(5))
+	f := mustFault(t, func() {
+		// The real mask lost word 2.
+		o.OnWCWrite(0, b, 6, memsys.WordMask(0).Set(5).Set(6))
+	})
+	if !strings.Contains(f.Message, "mask") {
+		t.Fatalf("unexpected message: %s", f.Message)
+	}
+	o.Reset(1)
+	o.OnWCWrite(0, b, 1, memsys.WordMask(0).Set(1))
+	f = mustFault(t, func() { o.OnWCFlush(0, b, memsys.WordMask(0).Set(1).Set(3), "evict") })
+	if !strings.Contains(f.Message, "mask") {
+		t.Fatalf("unexpected message: %s", f.Message)
+	}
+	o.Reset(1)
+	f = mustFault(t, func() { o.OnWCFlush(0, b, memsys.WordMask(0).Set(1), "evict") })
+	if !strings.Contains(f.Message, "never saw") {
+		t.Fatalf("unexpected message: %s", f.Message)
+	}
+}
+
+func TestSerializationOrder(t *testing.T) {
+	o := New()
+	o.Reset(1)
+	b := memsys.Block(0)
+	o.OnWrite(0, b, 0, 1)
+	o.OnWrite(0, b, 0, 2)
+	f := mustFault(t, func() { o.OnWrite(0, b, 0, 4) })
+	if !strings.Contains(f.Message, "serialized") {
+		t.Fatalf("unexpected message: %s", f.Message)
+	}
+}
+
+func TestReadBeyondHighWater(t *testing.T) {
+	o := New()
+	o.Reset(1)
+	b := memsys.Block(0)
+	o.OnWrite(0, b, 3, 1)
+	o.OnRead(0, b, 3, 1) // fine
+	o.OnRead(0, b, 3, 0) // stale but not the oracle's concern (per-reader monotonicity is core's)
+	f := mustFault(t, func() { o.OnRead(0, b, 3, 2) })
+	if !strings.Contains(f.Message, "high-water") {
+		t.Fatalf("unexpected message: %s", f.Message)
+	}
+}
+
+func TestDispatchContextAttribution(t *testing.T) {
+	o := New()
+	o.Reset(2)
+	b := memsys.Block(0)
+	o.OnDirState(0, b, false, -1, 1<<1, "read-share")
+	o.OnDispatch("ReadReply", b, 0, false)
+	f := mustFault(t, func() { o.OnLine(0, b, false, "install") })
+	if f.MsgKind != "ReadReply" {
+		t.Fatalf("MsgKind %q, want ReadReply", f.MsgKind)
+	}
+	if f.Component != "cache 0" {
+		t.Fatalf("Component %q, want cache 0", f.Component)
+	}
+	if f.Block != 0 {
+		t.Fatalf("Block %d, want 0", f.Block)
+	}
+}
+
+func TestObservationLog(t *testing.T) {
+	o := New()
+	o.LogObs = true
+	o.Reset(2)
+	b := memsys.Block(0)
+	o.OnWrite(0, b, 0, 1)
+	o.OnRead(1, b, 0, 1)
+	o.OnRead(1, b, 0, 1)
+	if got := len(o.Observations(1)); got != 2 {
+		t.Fatalf("node 1 observations = %d, want 2", got)
+	}
+	if o.Observations(1)[0].Write || !o.Observations(0)[0].Write {
+		t.Fatalf("observation write flags wrong")
+	}
+	o.Reset(2)
+	if len(o.Observations(1)) != 0 {
+		t.Fatalf("Reset kept observations")
+	}
+}

@@ -250,13 +250,16 @@ func (c *CacheCtl) observe(b memsys.Block, w int, v int64) {
 	if c.sys.verSeq == nil {
 		return
 	}
+	if ck := c.sys.Check; ck != nil {
+		ck.OnRead(c.id, b, w, v)
+	}
 	last := c.lastSeen[b]
 	if last == nil {
 		last = &memsys.BlockData{}
 		c.lastSeen[b] = last
 	}
 	if v < last[w] {
-		c.sys.dataViolation("node %d read block %d word %d version %d after seeing %d",
+		c.sys.dataViolation(b, "node %d read block %d word %d version %d after seeing %d",
 			c.id, b, w, v, last[w])
 	}
 	last[w] = v
@@ -267,7 +270,32 @@ func (c *CacheCtl) performLocal(line *cache.Line, b memsys.Block, w int) {
 	if c.sys.verSeq == nil {
 		return
 	}
-	line.Data[w] = c.sys.nextVersion(b, w)
+	line.Data[w] = c.sys.serialize(c.id, b, w)
+}
+
+// ckLine reports an SLC state transition (install, upgrade, downgrade) for
+// block b to the live checker. One nil check when the checker is off.
+func (c *CacheCtl) ckLine(b memsys.Block, dirty bool, event string) {
+	if ck := c.sys.Check; ck != nil {
+		ck.OnLine(c.id, b, dirty, event)
+	}
+}
+
+// ckDrop reports block b leaving this SLC (invalidation, replacement).
+func (c *CacheCtl) ckDrop(b memsys.Block, event string) {
+	if ck := c.sys.Check; ck != nil {
+		ck.OnLineDrop(c.id, b, event)
+	}
+}
+
+// fillFLC fills the FLC and, with the checker on, asserts inclusion at the
+// fill: the SLC must already hold any block entering the FLC.
+func (c *CacheCtl) fillFLC(b memsys.Block) {
+	if ck := c.sys.Check; ck != nil && c.slc.Lookup(b) == nil {
+		ck.Failf(fmt.Sprintf("cache %d", c.id), b,
+			"FLC fill of block %d without SLC inclusion", b)
+	}
+	c.flc.Fill(b)
 }
 
 // ---------- Processor interface ----------
@@ -284,7 +312,7 @@ func (c *CacheCtl) Read(a memsys.Addr, unblock func()) bool {
 			if line := c.slc.Lookup(b); line != nil {
 				c.observe(b, memsys.WordIndex(a), line.Data[memsys.WordIndex(a)])
 			} else {
-				c.sys.dataViolation("node %d: FLC hit on block %d without SLC inclusion", c.id, b)
+				c.sys.dataViolation(b, "node %d: FLC hit on block %d without SLC inclusion", c.id, b)
 			}
 		}
 		return true
@@ -534,6 +562,13 @@ func (c *CacheCtl) processWriteCW(w flwbWrite, line *cache.Line) bool {
 		return false
 	}
 	victim, evicted := c.wc.Write(b, w.word)
+	if ck := c.sys.Check; ck != nil {
+		if evicted {
+			ck.OnWCFlush(c.id, victim.Block, victim.Mask, "evict")
+		}
+		mask, _ := c.wc.Lookup(b)
+		ck.OnWCWrite(c.id, b, w.word, mask)
+	}
 	c.wcObs[b] = append(c.wcObs[b], w.ob)
 	if line != nil {
 		line.LocallyModified = true
@@ -551,6 +586,9 @@ func (c *CacheCtl) processWriteCW(w flwbWrite, line *cache.Line) bool {
 		// A release is waiting; a prior write must not linger unflushed in
 		// the write cache, or the release would never see it performed.
 		if e, ok := c.wc.Remove(b); ok {
+			if ck := c.sys.Check; ck != nil {
+				ck.OnWCFlush(c.id, b, e.Mask, "release-drain")
+			}
 			obs := c.wcObs[b]
 			delete(c.wcObs, b)
 			c.flushWC(e, obs)
@@ -633,6 +671,9 @@ func (c *CacheCtl) Release(a memsys.Addr, unblock func()) bool {
 func (c *CacheCtl) enqueueFence(r relReq) {
 	if c.wc != nil {
 		for _, e := range c.wc.DrainAll() {
+			if ck := c.sys.Check; ck != nil {
+				ck.OnWCFlush(c.id, e.Block, e.Mask, "fence-drain")
+			}
 			obs := c.wcObs[e.Block]
 			delete(c.wcObs, e.Block)
 			c.flushWC(e, obs)
@@ -784,6 +825,7 @@ func (c *CacheCtl) removeLine(b memsys.Block) *cache.Line {
 		return nil
 	}
 	c.sys.traceNode(trace.CacheEvict, "inval", b, c.id, line.State.String())
+	c.ckDrop(b, "inval")
 	c.flc.Invalidate(b)
 	c.Cls.Invalidate(b)
 	if line.PrefetchBit && c.pf != nil {
@@ -799,11 +841,13 @@ func (c *CacheCtl) install(b memsys.Block, st cache.LineState) *cache.Line {
 		c.handleVictim(victim)
 	}
 	c.Cls.Fill(b)
+	c.ckLine(b, st == cache.Dirty, "install")
 	return line
 }
 
 func (c *CacheCtl) handleVictim(v *cache.Line) {
 	c.sys.traceNode(trace.CacheEvict, "replace", v.Block, c.id, v.State.String())
+	c.ckDrop(v.Block, "replace")
 	c.flc.Invalidate(v.Block)
 	c.Cls.Evict(v.Block)
 	if v.PrefetchBit && c.pf != nil {
@@ -869,7 +913,7 @@ func (c *CacheCtl) onReadReply(m *Msg) {
 			// Issued as a prefetch, promoted to a demand fetch in flight.
 			c.pf.OnFill()
 		}
-		c.flc.Fill(b)
+		c.fillFLC(b)
 		if t0, ok := c.missStart[b]; ok {
 			delete(c.missStart, b)
 			if c.statsOn() {
@@ -921,18 +965,19 @@ func (c *CacheCtl) onOwnAck(m *Msg) {
 			return
 		}
 		line.State = cache.Dirty
+		c.ckLine(b, true, "own-upgrade")
 	}
 	line.Written = true
 	if c.sys.verSeq != nil {
 		for _, w := range ms.words {
-			line.Data[w] = c.sys.nextVersion(b, w)
+			line.Data[w] = c.sys.serialize(c.id, b, w)
 		}
 	}
 	for _, p := range ms.performed {
 		p()
 	}
 	if len(ms.readers) > 0 {
-		c.flc.Fill(b)
+		c.fillFLC(b)
 		for _, r := range ms.readers {
 			c.observe(b, r.word, line.Data[r.word])
 			r.fn()
@@ -956,12 +1001,12 @@ func (c *CacheCtl) relinquishLostOwnership(b memsys.Block, ms *mshr, stamp int) 
 	if c.sys.verSeq != nil {
 		for _, w := range ms.words {
 			mask = mask.Set(w)
-			payload[w] = c.sys.nextVersion(b, w)
+			payload[w] = c.sys.serialize(c.id, b, w)
 		}
 		for w := 0; w < memsys.WordsPerBlock; w++ {
 			if ms.mask.Has(w) {
 				mask = mask.Set(w)
-				payload[w] = c.sys.nextVersion(b, w)
+				payload[w] = c.sys.serialize(c.id, b, w)
 			}
 		}
 	}
@@ -1008,11 +1053,12 @@ func (c *CacheCtl) onUpdateAck(m *Msg) {
 			line.Data = m.Payload
 		} else if line = c.slc.Lookup(b); line != nil {
 			line.State = cache.Dirty
+			c.ckLine(b, true, "update-upgrade")
 			if c.sys.verSeq != nil {
 				// The owner's combined writes serialize here.
 				for w := 0; w < memsys.WordsPerBlock; w++ {
 					if ms.mask.Has(w) {
-						line.Data[w] = c.sys.nextVersion(b, w)
+						line.Data[w] = c.sys.serialize(c.id, b, w)
 					}
 				}
 			}
@@ -1033,7 +1079,7 @@ func (c *CacheCtl) onUpdateAck(m *Msg) {
 	}
 	if len(ms.readers) > 0 {
 		if line := c.slc.Lookup(b); line != nil {
-			c.flc.Fill(b)
+			c.fillFLC(b)
 			for _, r := range ms.readers {
 				c.observe(b, r.word, line.Data[r.word])
 				r.fn()
@@ -1085,12 +1131,14 @@ func (c *CacheCtl) onFwd(m *Msg) {
 		} else {
 			line.State = cache.Shared
 			line.MigSupplied = false
+			c.ckLine(b, false, "mig-keep")
 			c.send(&Msg{Type: MsgFwdReply, Block: b, Dst: home, Data: true, Wrote: false, Payload: line.Data, Txn: m.Txn})
 		}
 	default:
 		// Ordinary read miss: downgrade to Shared.
 		line.State = cache.Shared
 		line.Written = false
+		c.ckLine(b, false, "downgrade")
 		c.send(&Msg{Type: MsgFwdReply, Block: b, Dst: home, Data: true, Wrote: true, Payload: line.Data, Txn: m.Txn})
 	}
 }

@@ -118,6 +118,14 @@ func (h *HomeCtl) entry(b memsys.Block) *dirEntry {
 
 func bit(n int) uint64 { return 1 << uint(n) }
 
+// ckDir reports block b's directory entry to the live checker after a
+// transition. One nil check when the checker is off.
+func (h *HomeCtl) ckDir(b memsys.Block, e *dirEntry, event string) {
+	if ck := h.sys.Check; ck != nil {
+		ck.OnDirState(h.id, b, e.state == dirModified, e.owner, e.presence, event)
+	}
+}
+
 // addSharer records node n as a sharer, degrading a limited-pointer entry
 // to broadcast mode when the pointer budget overflows.
 func (h *HomeCtl) addSharer(e *dirEntry, n int) {
@@ -139,7 +147,7 @@ func (h *HomeCtl) applyUpdate(e *dirEntry, m *Msg) {
 	b := m.Block
 	for w := 0; w < memsys.WordsPerBlock; w++ {
 		if m.Mask.Has(w) {
-			e.data[w] = h.sys.nextVersion(b, w)
+			e.data[w] = h.sys.serialize(m.Src, b, w)
 		}
 	}
 }
@@ -317,11 +325,15 @@ func (h *HomeCtl) readReq(m *Msg, e *dirEntry) {
 		e.owner = m.Src
 		h.setPresence(e, bit(m.Src))
 		e.grants++
+		h.ckDir(b, e, "excl-supply")
 		h.send(&Msg{Type: MsgReadReply, Block: b, Dst: m.Src, Data: true, Excl: true, Prefetch: m.Prefetch, Stamp: e.grants, Payload: e.data, Txn: m.Txn})
 		h.finish(b, e)
 		return
 	}
-	h.addSharer(e, m.Src)
+	if !h.sys.takeMutation("skip-sharer") {
+		h.addSharer(e, m.Src)
+	}
+	h.ckDir(b, e, "read-share")
 	h.send(&Msg{Type: MsgReadReply, Block: b, Dst: m.Src, Data: true, Prefetch: m.Prefetch, Payload: e.data, Txn: m.Txn})
 	h.finish(b, e)
 }
@@ -354,6 +366,7 @@ func (h *HomeCtl) onFwdReply(m *Msg) {
 			e.lastWriter = req.Src
 			e.grants++
 			h.applyUpdate(e, req)
+			h.ckDir(b, e, "recall-grant")
 			h.send(&Msg{Type: MsgUpdateAck, Block: b, Dst: req.Src, Data: true, Excl: true, Stamp: e.grants, Payload: e.data, Txn: req.Txn})
 		case req.Type == MsgOwnReq:
 			// Write miss to a dirty block: exclusive handoff.
@@ -361,6 +374,7 @@ func (h *HomeCtl) onFwdReply(m *Msg) {
 			h.setPresence(e, bit(req.Src))
 			e.lastWriter = req.Src
 			e.grants++
+			h.ckDir(b, e, "fwd-grant")
 			h.send(&Msg{Type: MsgOwnAck, Block: b, Dst: req.Src, Data: true, Stamp: e.grants, Payload: e.data, Txn: req.Txn})
 		case req.Type == MsgReadReq && e.migratory && h.sys.P.M:
 			if m.Wrote {
@@ -370,6 +384,7 @@ func (h *HomeCtl) onFwdReply(m *Msg) {
 				h.setPresence(e, bit(req.Src))
 				e.lastWriter = req.Src
 				e.grants++
+				h.ckDir(b, e, "mig-pass")
 				h.send(&Msg{Type: MsgReadReply, Block: b, Dst: req.Src, Data: true, Excl: true, Prefetch: req.Prefetch, Stamp: e.grants, Payload: e.data, Txn: req.Txn})
 			} else {
 				// The holder never wrote its exclusive copy: the pattern is
@@ -380,6 +395,7 @@ func (h *HomeCtl) onFwdReply(m *Msg) {
 				e.migratory = false
 				e.state = dirClean
 				h.setPresence(e, bit(m.Src)|bit(req.Src))
+				h.ckDir(b, e, "revert")
 				h.send(&Msg{Type: MsgReadReply, Block: b, Dst: req.Src, Data: true, Prefetch: req.Prefetch, Payload: e.data, Txn: req.Txn})
 			}
 		default:
@@ -387,6 +403,7 @@ func (h *HomeCtl) onFwdReply(m *Msg) {
 			// Shared, memory updated, requester added.
 			e.state = dirClean
 			h.addSharer(e, req.Src)
+			h.ckDir(b, e, "fwd-downgrade")
 			h.send(&Msg{Type: MsgReadReply, Block: b, Dst: req.Src, Data: true, Prefetch: req.Prefetch, Payload: e.data, Txn: req.Txn})
 		}
 		h.finish(b, e)
@@ -440,6 +457,7 @@ func (h *HomeCtl) onInvAck(m *Msg) {
 		panic(fmt.Sprintf("home %d: unexpected InvAck for block %d", h.id, b))
 	}
 	e.presence &^= bit(m.Src)
+	h.ckDir(b, e, "inv-ack")
 	e.acksLeft--
 	if e.acksLeft == 0 {
 		// The invalidation fan-out round trip ends with the last ack.
@@ -455,6 +473,7 @@ func (h *HomeCtl) grantOwnership(b memsys.Block, e *dirEntry, to int) {
 	h.setPresence(e, bit(to))
 	e.lastWriter = to
 	e.grants++
+	h.ckDir(b, e, "grant")
 	h.send(&Msg{Type: MsgOwnAck, Block: b, Dst: to, Data: e.needData, Stamp: e.grants, Payload: e.data, Txn: e.txnReq.Txn})
 	h.finish(b, e)
 }
@@ -498,6 +517,7 @@ func (h *HomeCtl) updateReq(m *Msg, e *dirEntry) {
 		h.setPresence(e, bit(m.Src))
 		e.lastWriter = m.Src
 		e.grants++
+		h.ckDir(b, e, "update-excl")
 		h.send(&Msg{Type: MsgUpdateAck, Block: b, Dst: m.Src, Data: e.needData, Excl: true, Stamp: e.grants, Payload: e.data, Txn: m.Txn})
 		h.finish(b, e)
 		return
@@ -521,6 +541,7 @@ func (h *HomeCtl) onUpdAck(m *Msg) {
 	}
 	if m.Removed {
 		e.presence &^= bit(m.Src)
+		h.ckDir(b, e, "upd-ack")
 	}
 	if !m.GaveUp {
 		e.gaveUp = false
@@ -543,6 +564,7 @@ func (h *HomeCtl) onUpdAck(m *Msg) {
 		h.setPresence(e, bit(req.Src))
 		e.lastWriter = req.Src
 		e.grants++
+		h.ckDir(b, e, "update-grant")
 		h.send(&Msg{Type: MsgUpdateAck, Block: b, Dst: req.Src, Data: e.needData, Excl: true, Stamp: e.grants, Payload: e.data, Txn: req.Txn})
 	} else {
 		// The updater keeps a Shared copy (if it has one); the ack carries
@@ -564,11 +586,17 @@ func (h *HomeCtl) wbReq(m *Msg, e *dirEntry) {
 		if mask == 0 {
 			mask = memsys.FullMask
 		}
+		if h.sys.takeMutation("wb-drop-word") {
+			// Injected protocol bug: the writeback merge silently loses the
+			// lowest written word, so memory keeps a stale version of it.
+			mask &= mask - 1
+		}
 		e.data.Merge(m.Payload, mask)
 		e.state = dirClean
 		e.presence = 0
 		e.overflow = false
 		e.owner = -1
+		h.ckDir(b, e, "writeback")
 	} else {
 		// Stale: the copy already moved on via a forwarded reply.
 		h.StaleWritebacks++

@@ -83,6 +83,14 @@ type Params struct {
 	// simulation overhead.
 	VerifyData bool
 
+	// Mutate arms a one-shot protocol mutation for checker validation: the
+	// first transition matching the named kind misbehaves once, and the
+	// live coherence checker (or the data-value invariant) must catch it.
+	// Known kinds: "wb-drop-word" (a writeback's merge loses its lowest
+	// written word) and "skip-sharer" (the home omits a read requester from
+	// the presence vector). Empty disables mutation.
+	Mutate string
+
 	// DirPointers selects a limited-pointer directory (Dir_iB) with that
 	// many sharer pointers per memory line instead of the paper's full
 	// presence-flag map (0, the default). When a block's sharer count
@@ -134,6 +142,11 @@ func (p *Params) Validate() error {
 		return fmt.Errorf("core: bad prefetch tuning")
 	case p.DirPointers < 0:
 		return fmt.Errorf("core: DirPointers = %d, need >= 0", p.DirPointers)
+	}
+	switch p.Mutate {
+	case "", "wb-drop-word", "skip-sharer":
+	default:
+		return fmt.Errorf("core: unknown protocol mutation %q", p.Mutate)
 	}
 	return nil
 }

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
+	"ccsim/internal/check"
 	"ccsim/internal/fault"
 	"ccsim/internal/memsys"
 	"ccsim/internal/network"
@@ -42,6 +44,17 @@ type System struct {
 	// messages, dumped with a SimFault. A nil recorder is a free no-op.
 	Rec *fault.Recorder
 
+	// Check, when non-nil, is the live coherence checker: every directory
+	// and SLC state transition reports to it and a violated invariant
+	// panics with a structured *fault.SimFault at the offending event.
+	// Hook sites cost one nil check when disabled, like Tracer and Rec.
+	Check *check.Oracle
+
+	// mutArmed is the one-shot protocol-mutation trigger (Params.Mutate):
+	// the first transition matching the mutation kind takes it and
+	// misbehaves once, giving the checker a deterministic bug to catch.
+	mutArmed bool
+
 	// Dispatch context: the protocol message most recently delivered to a
 	// controller. A panic inside a handler is attributed to this message
 	// (plain value fields — maintaining them costs no allocation).
@@ -73,8 +86,35 @@ func (s *System) nextVersion(b memsys.Block, w int) int64 {
 	return c[w]
 }
 
-// dataViolation records one data-value invariant violation (bounded).
-func (s *System) dataViolation(format string, args ...any) {
+// serialize is a write's global serialization point on behalf of node: it
+// draws the next version for (b, w) and reports it to the live checker,
+// which asserts the serialization order is gapless and (under LogObs)
+// records it for litmus outcome predicates.
+func (s *System) serialize(node int, b memsys.Block, w int) int64 {
+	v := s.nextVersion(b, w)
+	if s.Check != nil {
+		s.Check.OnWrite(node, b, w, v)
+	}
+	return v
+}
+
+// takeMutation fires the armed protocol mutation if it matches kind,
+// disarming it so the injected bug happens exactly once.
+func (s *System) takeMutation(kind string) bool {
+	if !s.mutArmed || s.P.Mutate != kind {
+		return false
+	}
+	s.mutArmed = false
+	return true
+}
+
+// dataViolation records one data-value invariant violation on block b
+// (bounded). With the live checker attached it fails fast instead, so the
+// fault names the event where the value invariant first broke.
+func (s *System) dataViolation(b memsys.Block, format string, args ...any) {
+	if s.Check != nil {
+		s.Check.Failf("", b, format, args...)
+	}
 	if len(s.DataViolations) < 16 {
 		s.DataViolations = append(s.DataViolations, fmt.Sprintf(format, args...))
 	}
@@ -144,6 +184,7 @@ func NewSystem(eng *sim.Engine, net network.Net, params Params) (*System, error)
 	if params.VerifyData {
 		s.verSeq = make(map[memsys.Block]*memsys.BlockData)
 	}
+	s.mutArmed = params.Mutate != ""
 	s.Nodes = make([]*Node, params.Nodes)
 	for i := range s.Nodes {
 		n := &Node{
@@ -259,6 +300,9 @@ func (s *System) dispatch(m *Msg) {
 	s.Rec.Record(int64(s.Eng.Now()), "recv", m.Type.String(), uint64(m.Block), m.Src, m.Dst)
 	s.lastType, s.lastBlock, s.lastDst, s.lastToHome, s.lastValid =
 		m.Type, m.Block, m.Dst, m.toHome(), true
+	if s.Check != nil {
+		s.Check.OnDispatch(m.Type.String(), m.Block, m.Dst, m.toHome())
+	}
 	if m.Txn != 0 && s.Tele != nil {
 		if ph, ok := arrivalPhase(m.Type); ok {
 			s.Tele.Mark(m.Txn, ph, int64(s.Eng.Now()))
@@ -286,25 +330,80 @@ func (s *System) Quiesced() bool {
 // at quiescence (no in-flight transactions). It returns a descriptive error
 // on the first violation found.
 func (s *System) CheckInvariants() error {
-	// Gather every cached copy.
+	errs := s.invariantErrors(true, 1)
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+// CheckInvariantsBestEffort runs the invariant walk without requiring
+// quiescence — blocks with in-flight transactions (busy directory entries,
+// pending MSHRs or writebacks) are skipped rather than reported — and
+// returns up to max findings. The fault path uses it so the coherence
+// violation that caused a hang appears in the SimFault diagnostic.
+func (s *System) CheckInvariantsBestEffort(max int) []string {
+	errs := s.invariantErrors(false, max)
+	out := make([]string, len(errs))
+	for i, e := range errs {
+		out[i] = e.Error()
+	}
+	return out
+}
+
+// invariantErrors is the shared invariant walker. In quiescent mode a
+// non-quiesced home entry is itself a violation; in best-effort mode any
+// block with in-flight state anywhere is excluded from every check. The
+// walk visits maps, so findings are sorted before truncating to max to
+// keep fault dumps deterministic.
+func (s *System) invariantErrors(quiescent bool, max int) []error {
+	var errs []error
+	report := func(format string, args ...any) bool {
+		errs = append(errs, fmt.Errorf(format, args...))
+		return false
+	}
+	// Gather every cached copy, and (for best-effort mode) every block a
+	// cache controller still has a transaction or writeback in flight for.
 	type copyInfo struct {
 		node  int
 		state string
 		dirty bool
 	}
 	copies := make(map[memsys.Block][]copyInfo)
+	inflight := make(map[memsys.Block]bool)
 	for _, n := range s.Nodes {
 		n.Cache.forEachLine(func(b memsys.Block, st string, dirty bool) {
 			copies[b] = append(copies[b], copyInfo{n.ID, st, dirty})
 		})
+		if !quiescent {
+			for b := range n.Cache.mshrs {
+				inflight[b] = true
+			}
+			for b := range n.Cache.wbPending {
+				inflight[b] = true
+			}
+		}
 	}
 	for _, n := range s.Nodes {
 		for b, e := range n.Home.dir {
 			if s.HomeOf(b) != n.ID {
-				return fmt.Errorf("block %d: directory entry at node %d, home is %d", b, n.ID, s.HomeOf(b))
+				if report("block %d: directory entry at node %d, home is %d", b, n.ID, s.HomeOf(b)) {
+					return errs
+				}
+				continue
 			}
 			if e.busy || len(e.deferred) > 0 || len(e.parked) > 0 {
-				return fmt.Errorf("block %d: home not quiesced", b)
+				if !quiescent {
+					inflight[b] = true
+					continue
+				}
+				if report("block %d: home not quiesced", b) {
+					return errs
+				}
+				continue
+			}
+			if inflight[b] {
+				continue
 			}
 			dirties := 0
 			for _, c := range copies[b] {
@@ -315,23 +414,44 @@ func (s *System) CheckInvariants() error {
 			switch e.state {
 			case dirClean:
 				if dirties != 0 {
-					return fmt.Errorf("block %d: CLEAN at home but %d dirty copies", b, dirties)
+					if report("block %d: CLEAN at home but %d dirty copies", b, dirties) {
+						return errs
+					}
+				}
+				// An entry with an empty presence vector claims the block is
+				// uncached machine-wide: no copy of any kind may exist.
+				if e.presence == 0 && len(copies[b]) > 0 {
+					if report("block %d: uncached at home but %d cached copies", b, len(copies[b])) {
+						return errs
+					}
 				}
 				// Presence must be a superset of actual holders (silent
 				// replacement makes it a superset, not an exact set).
 				for _, c := range copies[b] {
 					if e.presence&(1<<uint(c.node)) == 0 {
-						return fmt.Errorf("block %d: node %d holds a copy not in the presence vector", b, c.node)
+						if report("block %d: node %d holds a copy not in the presence vector", b, c.node) {
+							return errs
+						}
 					}
 				}
 			case dirModified:
 				if dirties > 1 {
-					return fmt.Errorf("block %d: %d dirty copies", b, dirties)
+					if report("block %d: %d dirty copies", b, dirties) {
+						return errs
+					}
 				}
 				for _, c := range copies[b] {
 					if c.node != e.owner {
-						return fmt.Errorf("block %d: MODIFIED owner %d but node %d holds a %s copy", b, e.owner, c.node, c.state)
+						if report("block %d: MODIFIED owner %d but node %d holds a %s copy", b, e.owner, c.node, c.state) {
+							return errs
+						}
 					}
+				}
+			default:
+				// A directory entry outside the known states is corrupt
+				// whatever the copies look like.
+				if report("block %d: unknown directory state %d", b, e.state) {
+					return errs
 				}
 			}
 		}
@@ -339,14 +459,23 @@ func (s *System) CheckInvariants() error {
 	// No cache may hold a dirty copy of a block its home believes clean —
 	// covered above — and every dirty copy must be the registered owner.
 	for b, cs := range copies {
+		if inflight[b] {
+			continue
+		}
 		for _, c := range cs {
 			if c.dirty {
 				e := s.Nodes[s.HomeOf(b)].Home.dir[b]
 				if e == nil || e.state != dirModified || e.owner != c.node {
-					return fmt.Errorf("block %d: dirty at node %d without matching directory state", b, c.node)
+					if report("block %d: dirty at node %d without matching directory state", b, c.node) {
+						return errs
+					}
 				}
 			}
 		}
 	}
-	return nil
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	if len(errs) > max {
+		errs = errs[:max]
+	}
+	return errs
 }

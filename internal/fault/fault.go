@@ -33,6 +33,11 @@ const (
 	// KindLivelock is the watchdog's quiescence-free-spin detector: events
 	// kept firing past a threshold without any processor making progress.
 	KindLivelock = "livelock"
+	// KindInvariant is the live coherence checker: a shadow-state assertion
+	// (SWMR, directory-cache agreement, presence supersetting, inclusion,
+	// write-cache mask consistency, or the data-value invariant) failed at
+	// the protocol transition where it was violated.
+	KindInvariant = "invariant"
 )
 
 // SimFault is a structured simulation failure. It implements error; the
@@ -123,6 +128,11 @@ type Snapshot struct {
 	// Blocked names every blocked agent: processors stuck on reads, locks
 	// or barriers, and the sync primitives holding them.
 	Blocked []string
+	// Invariants holds the best-effort invariant findings gathered at the
+	// fault: the non-quiescent checker skips blocks with in-flight
+	// transactions and reports what is provably wrong in the rest, so the
+	// coherence violation that caused a hang appears in the dump.
+	Invariants []string
 	// Messages is the flight recorder's tail: the last protocol messages
 	// sent and delivered, oldest first.
 	Messages []Record
@@ -197,6 +207,12 @@ func (s *Snapshot) write(w io.Writer) {
 		fmt.Fprintf(w, "blocked agents:\n")
 		for _, b := range s.Blocked {
 			fmt.Fprintf(w, "  %s\n", b)
+		}
+	}
+	if len(s.Invariants) > 0 {
+		fmt.Fprintf(w, "invariant findings (best effort, in-flight blocks skipped):\n")
+		for _, v := range s.Invariants {
+			fmt.Fprintf(w, "  %s\n", v)
 		}
 	}
 	if len(s.Messages) > 0 {

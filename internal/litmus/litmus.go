@@ -1,0 +1,242 @@
+// Package litmus runs small concurrent micro-programs — classic memory
+// consistency litmus shapes (message passing, store buffering, IRIW) plus
+// deterministic random walks — against the full simulator with the live
+// coherence checker attached, under any protocol combination × consistency
+// model × network. A program fails either structurally (the checker or the
+// watchdog raises a *ccsim.SimFault) or behaviorally (its Verify predicate
+// rejects the observation logs); on failure, Minimize shrinks the program
+// to a shorter sequence reproducing the same failure class.
+//
+// The harness leans on the checker's version oracle for observations: with
+// LogObs set, every processor read and every write serialization is logged
+// in per-processor program order (reads block, so program order is
+// observation order), and predicates are stated over word *versions* — "T1
+// saw y's first write" is "an observation of y with version >= 1".
+package litmus
+
+import (
+	"fmt"
+
+	"ccsim"
+	"ccsim/internal/check"
+	"ccsim/internal/memsys"
+)
+
+// Cell is one point of the protocol grid a program runs under.
+type Cell struct {
+	Ext ccsim.Ext
+	SC  bool
+	Net ccsim.Network
+}
+
+// Name returns e.g. "P+CW+M/uniform" or "BASIC-SC/mesh".
+func (c Cell) Name() string {
+	cfg := ccsim.DefaultConfig()
+	cfg.Extensions, cfg.SC = c.Ext, c.SC
+	net := "uniform"
+	if c.Net == ccsim.Mesh {
+		net = "mesh"
+	}
+	return cfg.ProtocolName() + "/" + net
+}
+
+// Cells returns the full grid: every extension combination × SC/RC × both
+// networks, minus the CW×SC points (invalid per the paper §5.2).
+func Cells() []Cell {
+	var out []Cell
+	for i := 0; i < 8; i++ {
+		ext := ccsim.Ext{P: i&1 != 0, M: i&2 != 0, CW: i&4 != 0}
+		for _, sc := range []bool{false, true} {
+			if ext.CW && sc {
+				continue
+			}
+			for _, net := range []ccsim.Network{ccsim.Uniform, ccsim.Mesh} {
+				out = append(out, Cell{Ext: ext, SC: sc, Net: net})
+			}
+		}
+	}
+	return out
+}
+
+// Outcome is what a program's Verify predicate examines: the checker's
+// observation log per thread, in program order. Obs[t] holds thread t's
+// reads (Write=false, the version the processor saw) and its writes'
+// serializations (Write=true).
+type Outcome struct {
+	Obs [][]check.Obs
+}
+
+// Program is one litmus test: named threads of operations plus an optional
+// outcome predicate. A nil Verify means the program is oracle-gated only —
+// the live checker and the data-value invariant are the assertion. SCOnly
+// marks predicates that state a sequential-consistency guarantee; Run
+// skips them under release consistency (where the outcome is legal).
+type Program struct {
+	Name    string
+	Threads [][]ccsim.Op
+	Verify  func(*Outcome) error
+	SCOnly  bool
+}
+
+// maxEvents bounds every litmus run; the shapes are tiny, so anything near
+// this is a hang and should fault, not spin.
+const maxEvents = 5_000_000
+
+// Run executes p under cell with the live checker attached and returns the
+// failure, if any: a *ccsim.SimFault for a structural violation (unwrap
+// with ccsim.AsFault) or a plain error from the Verify predicate.
+func Run(p Program, cell Cell) error {
+	_, err := run(p, cell)
+	return err
+}
+
+func run(p Program, cell Cell) (*Outcome, error) {
+	cfg := ccsim.DefaultConfig()
+	cfg.Procs = len(p.Threads)
+	cfg.Extensions = cell.Ext
+	cfg.SC = cell.SC
+	cfg.Net = cell.Net
+	cfg.MaxEvents = maxEvents
+	ck := ccsim.NewChecker()
+	ck.LogObs = true
+	cfg.Check = ck
+	streams := make([]ccsim.Stream, len(p.Threads))
+	for i, th := range p.Threads {
+		ops := make([]ccsim.Op, 0, len(th)+1)
+		ops = append(ops, ccsim.Op{Kind: ccsim.StatsOn})
+		ops = append(ops, th...)
+		streams[i] = ccsim.Ops(ops...)
+	}
+	if _, err := ccsim.RunStreams(cfg, streams); err != nil {
+		return nil, fmt.Errorf("litmus %s under %s: %w", p.Name, cell.Name(), err)
+	}
+	out := &Outcome{Obs: make([][]check.Obs, len(p.Threads))}
+	for i := range p.Threads {
+		out.Obs[i] = ck.Observations(i)
+	}
+	if p.Verify != nil && (!p.SCOnly || cell.SC) {
+		if err := p.Verify(out); err != nil {
+			return out, fmt.Errorf("litmus %s under %s: %w", p.Name, cell.Name(), err)
+		}
+	}
+	return out, nil
+}
+
+// blockOf maps a program address to the oracle's block naming.
+func blockOf(addr uint64) memsys.Block { return memsys.BlockOf(memsys.Addr(addr)) }
+
+// wordOf maps a program address to its word index within the block.
+func wordOf(addr uint64) int { return memsys.WordIndex(memsys.Addr(addr)) }
+
+// FailureClass buckets a Run error so minimization can preserve it: "" for
+// success, "fault:<kind>" for a structural SimFault, "verify" for a
+// predicate rejection.
+func FailureClass(err error) string {
+	if err == nil {
+		return ""
+	}
+	if f, ok := ccsim.AsFault(err); ok {
+		return "fault:" + f.Kind
+	}
+	return "verify"
+}
+
+// Minimize greedily shrinks a failing program while its failure class under
+// cell is preserved, running at most maxRuns trial simulations. It removes
+// one operation at a time, with the structural pairings respected: an
+// Acquire goes together with its matching Release, and a barrier is
+// removed from every thread at once (a partial barrier would deadlock).
+// The returned program reproduces the original failure class.
+func Minimize(p Program, cell Cell, maxRuns int) Program {
+	want := FailureClass(Run(p, cell))
+	if want == "" {
+		return p
+	}
+	runs := 1
+	for {
+		shrunk := false
+		for t := 0; t < len(p.Threads) && runs < maxRuns; t++ {
+			for i := 0; i < len(p.Threads[t]) && runs < maxRuns; i++ {
+				cand, ok := remove(p, t, i)
+				if !ok {
+					continue
+				}
+				runs++
+				if FailureClass(Run(cand, cell)) == want {
+					p = cand
+					shrunk = true
+					i-- // the next op slid into this slot
+				}
+			}
+		}
+		if !shrunk || runs >= maxRuns {
+			return p
+		}
+	}
+}
+
+// remove returns a copy of p without thread t's op i (and its structural
+// partners), or ok=false when the op cannot be removed alone (a Release,
+// whose removal is driven by its Acquire).
+func remove(p Program, t, i int) (Program, bool) {
+	op := p.Threads[t][i]
+	switch op.Kind {
+	case ccsim.Release:
+		return Program{}, false
+	case ccsim.Barrier:
+		// Count which arrival this is for thread t, then drop the same
+		// barrier id from every thread.
+		out := cloneProgram(p)
+		for tt := range out.Threads {
+			out.Threads[tt] = removeFirstBarrier(out.Threads[tt], op.Bar)
+		}
+		return out, true
+	case ccsim.Acquire:
+		out := cloneProgram(p)
+		th := out.Threads[t]
+		// Drop the acquire and its matching release (the next release of
+		// the same lock address in this thread).
+		th = append(th[:i:i], th[i+1:]...)
+		for j := i; j < len(th); j++ {
+			if th[j].Kind == ccsim.Release && th[j].Addr == op.Addr {
+				th = append(th[:j:j], th[j+1:]...)
+				break
+			}
+		}
+		out.Threads[t] = th
+		return out, true
+	default:
+		out := cloneProgram(p)
+		th := out.Threads[t]
+		out.Threads[t] = append(th[:i:i], th[i+1:]...)
+		return out, true
+	}
+}
+
+func removeFirstBarrier(th []ccsim.Op, bar int) []ccsim.Op {
+	for i, op := range th {
+		if op.Kind == ccsim.Barrier && op.Bar == bar {
+			return append(th[:i:i], th[i+1:]...)
+		}
+	}
+	return th
+}
+
+func cloneProgram(p Program) Program {
+	out := Program{Name: p.Name, Verify: p.Verify, SCOnly: p.SCOnly}
+	out.Threads = make([][]ccsim.Op, len(p.Threads))
+	for t, th := range p.Threads {
+		out.Threads[t] = append([]ccsim.Op(nil), th...)
+	}
+	return out
+}
+
+// OpCount returns the total operation count across threads — what Minimize
+// drives down.
+func (p Program) OpCount() int {
+	n := 0
+	for _, th := range p.Threads {
+		n += len(th)
+	}
+	return n
+}

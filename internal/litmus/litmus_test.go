@@ -1,0 +1,149 @@
+package litmus
+
+import (
+	"fmt"
+	"testing"
+
+	"ccsim"
+	"ccsim/internal/check"
+)
+
+// TestShapesAllCells runs every deterministic litmus shape under the full
+// protocol grid (every extension combination × SC/RC × both networks,
+// minus CW×SC). Every run must pass: the live checker sees no coherence
+// violation and each shape's outcome predicate accepts.
+func TestShapesAllCells(t *testing.T) {
+	cells := Cells()
+	if len(cells) != 24 {
+		t.Fatalf("Cells() = %d cells, want 24", len(cells))
+	}
+	for name, mk := range Shapes() {
+		for _, cell := range cells {
+			if err := Run(mk(), cell); err != nil {
+				t.Errorf("%s under %s: %v", name, cell.Name(), err)
+			}
+		}
+	}
+}
+
+// TestRandomWalkChecked is the bounded checked-random-walk pass invoked by
+// verify.sh: seeded walks under a spread of protocol cells, judged by the
+// live checker and the data-value invariant.
+func TestRandomWalkChecked(t *testing.T) {
+	cells := Cells()
+	for seed := int64(1); seed <= 4; seed++ {
+		p := RandomWalk(seed, 4, 6, 40)
+		for i, cell := range cells {
+			// Spread seeds over the grid instead of running the full cross
+			// product; four seeds × six cells each still covers all 24.
+			if int64(i%4)+1 != seed {
+				continue
+			}
+			if err := Run(p, cell); err != nil {
+				t.Errorf("%s under %s: %v", p.Name, cell.Name(), err)
+			}
+		}
+	}
+}
+
+// TestRandomWalkDeterministic pins that the same seed yields the same
+// program — the corpus must be reproducible across runs and platforms.
+func TestRandomWalkDeterministic(t *testing.T) {
+	a := RandomWalk(7, 3, 4, 30)
+	b := RandomWalk(7, 3, 4, 30)
+	if fmt.Sprint(a.Threads) != fmt.Sprint(b.Threads) {
+		t.Fatalf("RandomWalk(7, ...) is not deterministic")
+	}
+	if a.OpCount() == 0 {
+		t.Fatalf("RandomWalk produced an empty program")
+	}
+}
+
+func TestFailureClass(t *testing.T) {
+	if got := FailureClass(nil); got != "" {
+		t.Errorf("FailureClass(nil) = %q, want \"\"", got)
+	}
+	if got := FailureClass(fmt.Errorf("litmus mp: verify: bad")); got != "verify" {
+		t.Errorf("FailureClass(plain) = %q, want \"verify\"", got)
+	}
+	f := &ccsim.SimFault{Kind: ccsim.FaultDeadlock}
+	if got := FailureClass(fmt.Errorf("wrapped: %w", f)); got != "fault:"+ccsim.FaultDeadlock {
+		t.Errorf("FailureClass(fault) = %q, want %q", got, "fault:"+ccsim.FaultDeadlock)
+	}
+}
+
+// TestMinimize drives the delta-minimizer with an always-failing predicate:
+// the failure class survives any removal, so minimization must strip the
+// program down to (near) nothing without ever deadlocking a partial
+// barrier or unbalancing an acquire/release pair.
+func TestMinimize(t *testing.T) {
+	p := Combine()
+	orig := p.OpCount()
+	p.Verify = func(*Outcome) error { return fmt.Errorf("synthetic failure") }
+	p.SCOnly = false
+	cell := Cell{Ext: ccsim.Ext{CW: true}, SC: false, Net: ccsim.Uniform}
+	min := Minimize(p, cell, 200)
+	if got := FailureClass(Run(min, cell)); got != "verify" {
+		t.Fatalf("minimized program lost its failure class: %q", got)
+	}
+	if min.OpCount() >= orig {
+		t.Fatalf("Minimize did not shrink: %d ops, started with %d", min.OpCount(), orig)
+	}
+	if min.OpCount() != 0 {
+		t.Errorf("with an unconditional failure, Minimize should reach 0 ops; got %d: %v", min.OpCount(), min.Threads)
+	}
+	// A program that passes is returned untouched.
+	ok := Combine()
+	if got := Minimize(ok, cell, 50); got.OpCount() != ok.OpCount() {
+		t.Errorf("Minimize changed a passing program")
+	}
+}
+
+// TestPredicatesCatchForbiddenOutcomes feeds hand-built forbidden
+// observation logs to the shape predicates, pinning that a green grid
+// means something: the predicates do reject the outcomes they claim to.
+func TestPredicatesCatchForbiddenOutcomes(t *testing.T) {
+	rd := func(addr uint64, ver int64) check.Obs {
+		return check.Obs{Block: blockOf(addr), Word: wordOf(addr), Ver: ver}
+	}
+	// mp: flag y seen written, later data x seen unwritten.
+	mp := MP()
+	bad := &Outcome{Obs: [][]check.Obs{nil, {rd(addrY, 1), rd(addrX, 0)}}}
+	if mp.Verify(bad) == nil {
+		t.Errorf("mp predicate accepted y=1 then x=0")
+	}
+	good := &Outcome{Obs: [][]check.Obs{nil, {rd(addrX, 0), rd(addrY, 1), rd(addrX, 1)}}}
+	if err := mp.Verify(good); err != nil {
+		t.Errorf("mp predicate rejected a legal outcome: %v", err)
+	}
+	// sb: both threads read version 0.
+	sb := SB()
+	if sb.Verify(&Outcome{Obs: [][]check.Obs{{rd(addrY, 0)}, {rd(addrX, 0)}}}) == nil {
+		t.Errorf("sb predicate accepted the both-zero outcome")
+	}
+	if err := sb.Verify(&Outcome{Obs: [][]check.Obs{{rd(addrY, 0)}, {rd(addrX, 1)}}}); err != nil {
+		t.Errorf("sb predicate rejected a legal outcome: %v", err)
+	}
+	// iriw: the two readers order the independent writes oppositely.
+	iriw := IRIW()
+	if iriw.Verify(&Outcome{Obs: [][]check.Obs{nil, nil,
+		{rd(addrX, 1), rd(addrY, 0)},
+		{rd(addrY, 1), rd(addrX, 0)},
+	}}) == nil {
+		t.Errorf("iriw predicate accepted the opposite-orders outcome")
+	}
+	// combine: a written word lost, or the unwritten word fabricated.
+	cb := Combine()
+	lost := &Outcome{Obs: [][]check.Obs{nil, {
+		rd(addrX, 1), rd(addrX+4, 0), rd(addrX+8, 1), rd(addrX+12, 0),
+	}}}
+	if cb.Verify(lost) == nil {
+		t.Errorf("combine predicate accepted a lost written word")
+	}
+	fab := &Outcome{Obs: [][]check.Obs{nil, {
+		rd(addrX, 1), rd(addrX+4, 1), rd(addrX+8, 1), rd(addrX+12, 2),
+	}}}
+	if cb.Verify(fab) == nil {
+		t.Errorf("combine predicate accepted a fabricated unwritten word")
+	}
+}

@@ -1,0 +1,283 @@
+package litmus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccsim"
+	"ccsim/internal/check"
+	"ccsim/internal/memsys"
+)
+
+// The shared locations live on distinct pages so their homes land on
+// different nodes (HomeOf distributes by page), exercising the distributed
+// directory rather than a single home controller.
+const (
+	addrX    = 1 * memsys.PageSize // "data"
+	addrY    = 2 * memsys.PageSize // "flag"
+	addrLock = 3 * memsys.PageSize
+)
+
+// Shapes returns the deterministic litmus corpus by name.
+func Shapes() map[string]func() Program {
+	return map[string]func() Program{
+		"mp":      MP,
+		"mp_sync": MPSync,
+		"sb":      SB,
+		"iriw":    IRIW,
+		"corr":    CoRR,
+		"combine": Combine,
+	}
+}
+
+func read(addr uint64) ccsim.Op  { return ccsim.Op{Kind: ccsim.Read, Addr: addr} }
+func write(addr uint64) ccsim.Op { return ccsim.Op{Kind: ccsim.Write, Addr: addr} }
+func busy(c int64) ccsim.Op      { return ccsim.Op{Kind: ccsim.Busy, Cycles: c} }
+func barrier(id int) ccsim.Op    { return ccsim.Op{Kind: ccsim.Barrier, Bar: id} }
+
+// firstVer returns the version of thread obs' n-th observation of (block,
+// word) with the given direction, or -1 if there is no such observation.
+func firstVer(obs []check.Obs, addr uint64, isWrite bool) int64 {
+	b, w := blockOf(addr), wordOf(addr)
+	for _, o := range obs {
+		if o.Block == b && o.Word == w && o.Write == isWrite {
+			return o.Ver
+		}
+	}
+	return -1
+}
+
+// MP is the message-passing shape: T0 writes data x then flag y; T1 reads
+// flag then data, repeatedly. Under SC, once T1 has seen the flag write it
+// must see the data write on every later read — a stale x after a fresh y
+// would order W(x) and W(y) against program order.
+func MP() Program {
+	t0 := []ccsim.Op{busy(40), write(addrX), write(addrY)}
+	var t1 []ccsim.Op
+	for i := 0; i < 8; i++ {
+		t1 = append(t1, read(addrY), busy(10), read(addrX), busy(10))
+	}
+	return Program{
+		Name:    "mp",
+		Threads: [][]ccsim.Op{t0, t1},
+		SCOnly:  true,
+		Verify: func(out *Outcome) error {
+			bx, by := blockOf(addrX), blockOf(addrY)
+			sawFlag := false
+			for _, o := range out.Obs[1] {
+				if o.Write {
+					continue
+				}
+				if o.Block == by && o.Ver >= 1 {
+					sawFlag = true
+				}
+				if o.Block == bx && o.Ver == 0 && sawFlag {
+					return fmt.Errorf("mp: read flag y version >= 1 but a later read of data x saw version 0")
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// MPSync is message passing with a global barrier standing in for the
+// synchronization: the barrier's release semantics make T0's writes
+// performed before T1 leaves it, so T1 must see every written word under
+// both consistency models.
+func MPSync() Program {
+	t0 := []ccsim.Op{
+		write(addrX), write(addrX + memsys.WordSize), write(addrX + 2*memsys.WordSize),
+		barrier(0),
+	}
+	t1 := []ccsim.Op{
+		barrier(0),
+		read(addrX), read(addrX + memsys.WordSize), read(addrX + 2*memsys.WordSize),
+	}
+	return Program{
+		Name:    "mp_sync",
+		Threads: [][]ccsim.Op{t0, t1},
+		Verify: func(out *Outcome) error {
+			for w := 0; w < 3; w++ {
+				a := uint64(addrX + w*memsys.WordSize)
+				if v := firstVer(out.Obs[1], a, false); v < 1 {
+					return fmt.Errorf("mp_sync: word %d of x read version %d after the barrier, want >= 1", w, v)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// SB is the store-buffering shape: T0 writes x then reads y; T1 writes y
+// then reads x. Under SC the writes are performed before the program-order
+// later reads, so at most one thread may read the other's location
+// unwritten.
+func SB() Program {
+	t0 := []ccsim.Op{write(addrX), read(addrY)}
+	t1 := []ccsim.Op{write(addrY), read(addrX)}
+	return Program{
+		Name:    "sb",
+		Threads: [][]ccsim.Op{t0, t1},
+		SCOnly:  true,
+		Verify: func(out *Outcome) error {
+			ry := firstVer(out.Obs[0], addrY, false)
+			rx := firstVer(out.Obs[1], addrX, false)
+			if ry == 0 && rx == 0 {
+				return fmt.Errorf("sb: both threads read version 0 (r(y)=0 and r(x)=0), forbidden under SC")
+			}
+			return nil
+		},
+	}
+}
+
+// IRIW is independent-reads-of-independent-writes: two writers to x and y,
+// two readers observing them in opposite orders. Under SC all processors
+// agree on one order of W(x) and W(y); T2 concluding x-before-y while T3
+// concludes y-before-x is forbidden. Reads are monotonic per processor
+// (the data-value invariant), so "v then later 0" orders the writes.
+func IRIW() Program {
+	t0 := []ccsim.Op{busy(30), write(addrX)}
+	t1 := []ccsim.Op{busy(50), write(addrY)}
+	var t2, t3 []ccsim.Op
+	for i := 0; i < 6; i++ {
+		t2 = append(t2, read(addrX), read(addrY), busy(7))
+		t3 = append(t3, read(addrY), read(addrX), busy(11))
+	}
+	order := func(obs []check.Obs, first, second uint64) bool {
+		// Reports whether the thread observed the write to first strictly
+		// before the write to second: some read of first with version >= 1
+		// followed by a read of second with version 0.
+		fb, sb := blockOf(first), blockOf(second)
+		sawFirst := false
+		for _, o := range obs {
+			if o.Write {
+				continue
+			}
+			if o.Block == fb && o.Ver >= 1 {
+				sawFirst = true
+			}
+			if o.Block == sb && o.Ver == 0 && sawFirst {
+				return true
+			}
+		}
+		return false
+	}
+	return Program{
+		Name:    "iriw",
+		Threads: [][]ccsim.Op{t0, t1, t2, t3},
+		SCOnly:  true,
+		Verify: func(out *Outcome) error {
+			if order(out.Obs[2], addrX, addrY) && order(out.Obs[3], addrY, addrX) {
+				return fmt.Errorf("iriw: T2 ordered W(x) before W(y) while T3 ordered W(y) before W(x)")
+			}
+			return nil
+		},
+	}
+}
+
+// CoRR is coherence-of-read-read: one writer hammering a location while
+// another thread reads it back-to-back. It carries no predicate of its own;
+// the live checker's per-word version oracle and the core's read
+// monotonicity check are the assertion (same-location reads never go
+// backward).
+func CoRR() Program {
+	var t0, t1 []ccsim.Op
+	for i := 0; i < 12; i++ {
+		t0 = append(t0, write(addrX), busy(5))
+		t1 = append(t1, read(addrX), read(addrX), busy(3))
+	}
+	return Program{Name: "corr", Threads: [][]ccsim.Op{t0, t1}}
+}
+
+// Combine targets the write cache's word-mask bookkeeping under CW: T0
+// writes three of a block's words inside an acquire/release pair (the
+// writes combine in the write cache and drain at the release), then both
+// threads cross a barrier and T1 reads all four words. The written words
+// must arrive (version >= 1) and the unwritten word must still be version
+// 0 — a mask bug shows up as either a lost word or a fabricated one. The
+// shape also runs (and must pass) under every non-CW protocol.
+func Combine() Program {
+	t0 := []ccsim.Op{
+		ccsim.Op{Kind: ccsim.Acquire, Addr: addrLock},
+		write(addrX), write(addrX + memsys.WordSize), write(addrX + 2*memsys.WordSize),
+		ccsim.Op{Kind: ccsim.Release, Addr: addrLock},
+		barrier(0),
+	}
+	t1 := []ccsim.Op{
+		barrier(0),
+		read(addrX), read(addrX + memsys.WordSize),
+		read(addrX + 2*memsys.WordSize), read(addrX + 3*memsys.WordSize),
+	}
+	return Program{
+		Name:    "combine",
+		Threads: [][]ccsim.Op{t0, t1},
+		Verify: func(out *Outcome) error {
+			for w := 0; w < 4; w++ {
+				a := uint64(addrX + w*memsys.WordSize)
+				v := firstVer(out.Obs[1], a, false)
+				if w < 3 && v < 1 {
+					return fmt.Errorf("combine: written word %d read version %d after release+barrier, want >= 1", w, v)
+				}
+				if w == 3 && v != 0 {
+					return fmt.Errorf("combine: unwritten word 3 read version %d, want 0", v)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// RandomWalk builds a deterministic seeded micro-program: procs threads
+// issuing ops reads/writes over a small set of shared blocks (one per
+// page, so homes are spread), with busy padding, paired acquire/release
+// critical sections, and machine-wide barriers at aligned positions. It is
+// oracle-gated (Verify nil): the live checker plus the data-value
+// invariant judge the run.
+func RandomWalk(seed int64, procs, blocks, ops int) Program {
+	rng := rand.New(rand.NewSource(seed))
+	addr := func() uint64 {
+		b := uint64(rng.Intn(blocks)) + 4 // pages 0-3 are the fixed shapes'
+		w := uint64(rng.Intn(memsys.WordsPerBlock))
+		return b*memsys.PageSize + w*memsys.WordSize
+	}
+	threads := make([][]ccsim.Op, procs)
+	// Barriers at aligned positions: every thread arrives at the same
+	// barrier ids in the same order.
+	barEvery := ops / 3
+	if barEvery < 1 {
+		barEvery = ops + 1
+	}
+	for t := range threads {
+		var th []ccsim.Op
+		locked := false
+		for i := 0; i < ops; i++ {
+			if i > 0 && i%barEvery == 0 {
+				if locked {
+					th = append(th, ccsim.Op{Kind: ccsim.Release, Addr: addrLock})
+					locked = false
+				}
+				th = append(th, barrier(i/barEvery-1))
+			}
+			switch r := rng.Intn(10); {
+			case r < 4:
+				th = append(th, read(addr()))
+			case r < 8:
+				th = append(th, write(addr()))
+			case r < 9:
+				th = append(th, busy(int64(1+rng.Intn(20))))
+			default:
+				if locked {
+					th = append(th, ccsim.Op{Kind: ccsim.Release, Addr: addrLock})
+				} else {
+					th = append(th, ccsim.Op{Kind: ccsim.Acquire, Addr: addrLock})
+				}
+				locked = !locked
+			}
+		}
+		if locked {
+			th = append(th, ccsim.Op{Kind: ccsim.Release, Addr: addrLock})
+		}
+		threads[t] = th
+	}
+	return Program{Name: fmt.Sprintf("walk-%d", seed), Threads: threads}
+}

@@ -6,6 +6,7 @@ package machine
 import (
 	"fmt"
 
+	"ccsim/internal/check"
 	"ccsim/internal/core"
 	"ccsim/internal/fault"
 	"ccsim/internal/network"
@@ -67,6 +68,13 @@ type Config struct {
 	// while the run executes (events, simulated time, wall-clock
 	// heartbeat). The engine publishes through it lock-free.
 	Progress *sim.Progress
+
+	// Check, when non-nil, attaches the live coherence checker: shadow
+	// state updated at every directory/SLC transition, with a structured
+	// SimFault at the first violated invariant. Forces VerifyData on (the
+	// checker's value oracle rides the version plumbing). Nil is zero-cost
+	// on the hot path, like Progress.
+	Check *check.Oracle
 }
 
 // DefaultConfig returns the paper's baseline machine (BASIC, RC, uniform
@@ -114,6 +122,11 @@ func New(cfg Config, streams []proc.Stream) (*Machine, error) {
 	if len(streams) != cfg.Core.Nodes {
 		return nil, fmt.Errorf("machine: %d streams for %d nodes", len(streams), cfg.Core.Nodes)
 	}
+	if cfg.Check != nil {
+		// The checker's sequential value oracle rides the VerifyData
+		// version plumbing; force it on before the system is built.
+		cfg.Core.VerifyData = true
+	}
 	eng := sim.NewEngine()
 	var net network.Net
 	switch cfg.Net {
@@ -131,6 +144,10 @@ func New(cfg Config, streams []proc.Stream) (*Machine, error) {
 	}
 	sys.Tracer = cfg.Tracer
 	sys.Tele = cfg.Tele
+	if cfg.Check != nil {
+		cfg.Check.Reset(cfg.Core.Nodes)
+		sys.Check = cfg.Check
+	}
 	if depth := cfg.FlightRecorder; depth >= 0 {
 		if depth == 0 {
 			depth = DefaultFlightRecorder
@@ -240,6 +257,16 @@ func (m *Machine) Run() (*Result, error) {
 // controller was handling which protocol message), the Go stack, and the
 // machine's diagnostic snapshot.
 func (m *Machine) Recovered(v any, stack []byte) *fault.SimFault {
+	if f, ok := v.(*fault.SimFault); ok {
+		// The live checker panics with an already-structured fault naming
+		// the message, block and transition; fill in what only the machine
+		// knows and keep its attribution.
+		f.Time = int64(m.Eng.Now())
+		f.Steps = m.Eng.Steps()
+		f.Stack = stack
+		f.Snapshot = m.faultSnapshot(f.Block, f.HasBlock)
+		return f
+	}
 	f := &fault.SimFault{
 		Kind:      fault.KindPanic,
 		Time:      int64(m.Eng.Now()),
@@ -279,6 +306,10 @@ func (m *Machine) faultSnapshot(block uint64, hasBlock bool) (snap *fault.Snapsh
 	}()
 	snap = m.Sys.FaultSnapshot(block, hasBlock)
 	snap.Blocked = m.blockedAgents()
+	// Best-effort invariant findings: a coherence violation that caused a
+	// hang or panic shows up in the dump even though the machine never
+	// reached quiescence (blocks with in-flight transactions are skipped).
+	snap.Invariants = m.Sys.CheckInvariantsBestEffort(8)
 	return snap
 }
 

@@ -1,16 +1,17 @@
 #!/bin/sh
 # Tier-1 verification: everything must build, vet clean, and pass the full
-# test suite; the event engine, telemetry collector, ops plane, and the
-# parallel experiment scheduler additionally run under the race detector
-# (the scheduler fans ccsim.Run calls across goroutines and the ops server
-# scrapes them live, so exp and ops are the race-sensitive surface). CI and
-# `make verify` both run this.
+# test suite; the event engine, telemetry collector, ops plane, coherence
+# checker, litmus harness, and the parallel experiment scheduler
+# additionally run under the race detector (the scheduler fans ccsim.Run
+# calls across goroutines and the ops server scrapes them live, so exp and
+# ops are the race-sensitive surface; checked runs ride those same
+# goroutines). CI and `make verify` both run this.
 set -eux
 
 go build ./...
 go vet ./...
 go test ./...
-go test -race -short ccsim/internal/sim ccsim/internal/telemetry ccsim/internal/fault ccsim/internal/ops ccsim/exp
+go test -race -short ccsim/internal/sim ccsim/internal/telemetry ccsim/internal/fault ccsim/internal/ops ccsim/internal/check ccsim/internal/litmus ccsim/exp
 
 # Watchdog smoke: a generous event ceiling must not disturb a clean run,
 # and a far-too-tight one must abort with a structured fault (non-zero
@@ -21,7 +22,20 @@ if /tmp/ccsim-verify -workload mp3d -scale 0.05 -procs 4 -max-events 1000 > /dev
     echo "watchdog smoke: tight -max-events ceiling did not abort" >&2
     exit 1
 fi
-rm -f /tmp/ccsim-verify
+
+# Live-checker smoke: a clean workload must pass with the transition-time
+# coherence checker attached, and -check must leave stdout byte-identical
+# to an unchecked run (the checker is a pure side channel).
+/tmp/ccsim-verify -workload mp3d -scale 0.05 -procs 4 -check > /tmp/ccsim-checked.txt
+/tmp/ccsim-verify -workload mp3d -scale 0.05 -procs 4 > /tmp/ccsim-unchecked.txt
+cmp /tmp/ccsim-checked.txt /tmp/ccsim-unchecked.txt
+rm -f /tmp/ccsim-verify /tmp/ccsim-checked.txt /tmp/ccsim-unchecked.txt
+
+# Bounded checked-random-walk litmus pass: seeded micro-programs across the
+# protocol grid under the live checker (the corpus itself runs in
+# `go test ./...` above; this repeats the randomized walk subset alone so a
+# litmus regression is named directly in CI logs).
+go test -count=1 -run 'TestRandomWalkChecked' ccsim/internal/litmus
 
 # Tier-2 metrics regression gate: regenerate the golden grid (Table 2 at a
 # small fixed scale) and require every metric to match the committed
