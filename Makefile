@@ -16,9 +16,10 @@ chaos:
 
 # Benchmarks, archived machine-readably: the raw go test output streams to
 # the terminal while cmd/benchjson writes the parsed results to
-# BENCH_PR4.json for cross-PR comparison.
+# BENCH_PR6.json for cross-PR comparison. Diff two baselines with
+# `go run ./cmd/benchjson -compare BENCH_PR4.json BENCH_PR6.json`.
 bench:
-	go test -bench=. -benchmem -count=1 ./... | go run ./cmd/benchjson -o BENCH_PR4.json
+	go test -bench=. -benchmem -count=1 ./... | go run ./cmd/benchjson -o BENCH_PR6.json
 
 # Regenerate the committed metrics baseline that verify.sh gates against:
 # the Table 2 grid (5 workloads x 4 protocols) at a small fixed scale. Run

@@ -18,6 +18,7 @@ import (
 
 	"ccsim"
 	"ccsim/exp"
+	"ccsim/internal/stats"
 )
 
 // benchOptions halves the workloads so a full `go test -bench=.` finishes
@@ -357,5 +358,24 @@ func TestTelemetryDisabledAddsNoAllocs(t *testing.T) {
 		tl.RecordInstant(0, "grant", 0, 10)
 	}); n != 0 {
 		t.Fatalf("nil telemetry collector allocates %v times per run, want 0", n)
+	}
+}
+
+// TestAnalyticsDisabledAddsNoAllocs pins down the sharing analyzer's
+// disabled path the same way: with no analyzer attached (the default),
+// every hook the cache controllers call is a nil no-op that allocates
+// nothing, so analytics-off runs pay only the nil check.
+func TestAnalyticsDisabledAddsNoAllocs(t *testing.T) {
+	var sh *ccsim.SharingAnalytics
+	if n := testing.AllocsPerRun(100, func() {
+		sh.OnRead(0, 7)
+		sh.OnWrite(0, 7, 3)
+		sh.OnMiss(1, 7)
+		sh.OnMissLatency(7, 120)
+		sh.OnInvalidate(1, 7)
+		sh.OnUpdate(1, 7)
+		sh.OnTraffic(7, stats.DataMsg, 32)
+	}); n != 0 {
+		t.Fatalf("nil sharing analyzer allocates %v times per run, want 0", n)
 	}
 }

@@ -163,6 +163,22 @@ type Config struct {
 	// transition (AsFault recovers it). Implies VerifyData. Leave nil for
 	// zero overhead; use a fresh NewChecker per run.
 	Check *Checker
+
+	// Sharing, when non-nil, attaches the sharing-pattern analyzer: an
+	// online per-block classifier over the measured section's access stream
+	// (read-only / read-mostly / migratory / producer-consumer /
+	// false-sharing / irregular) attributing misses, invalidations, update
+	// traffic and miss latency to each class. The report lands in
+	// Result.Sharing; with Telemetry also attached, per-class counter
+	// tracks appear in the timeline export. Leave nil for zero overhead;
+	// use a fresh NewSharingAnalytics per run.
+	Sharing *SharingAnalytics
+
+	// SelfProfile, when non-nil, attaches the engine self-profiler: sampled
+	// wall-clock attribution per event callback, exported with
+	// SelfProfiler.WriteJSON in cmd/benchjson-compatible form. One profiler
+	// may be shared across runs to aggregate. Leave nil for zero overhead.
+	SelfProfile *SelfProfiler
 }
 
 // Checker is the live coherence checker attached via Config.Check; create
@@ -171,6 +187,13 @@ type Checker = check.Oracle
 
 // NewChecker returns a live coherence checker for one run.
 func NewChecker() *Checker { return check.New() }
+
+// SelfProfiler is the engine self-profiler attached via Config.SelfProfile;
+// create one with NewSelfProfiler. See internal/sim for the sampling model.
+type SelfProfiler = sim.SelfProfiler
+
+// NewSelfProfiler returns an empty engine self-profiler.
+func NewSelfProfiler() *SelfProfiler { return sim.NewSelfProfiler() }
 
 // DefaultConfig returns the paper's baseline: 16 processors, BASIC protocol
 // under release consistency, uniform network, infinite SLC.
@@ -224,6 +247,8 @@ func (c Config) machineConfig() machine.Config {
 		FlightRecorder:   c.FlightRecorder,
 		Progress:         c.Progress,
 		Check:            c.Check,
+		Sharing:          c.Sharing,
+		SelfProf:         c.SelfProfile,
 	}
 	if c.FaultInject != "" {
 		ident := c.Workload + "/" + c.ProtocolName()

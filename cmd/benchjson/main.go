@@ -1,10 +1,12 @@
 // Command benchjson converts `go test -bench` output into machine-readable
 // JSON so benchmark results can be archived and diffed across PRs (see
-// `make bench`, which writes BENCH_PR2.json).
+// `make bench`, which writes the current baseline).
 //
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson -o BENCH.json
+//	go test -bench=. ./... | benchjson -compare BENCH_PR4.json
+//	benchjson -compare BENCH_PR4.json BENCH_PR6.json
 //
 // Input lines it understands look like
 //
@@ -13,6 +15,11 @@
 // Everything else (pass/fail lines, package headers) passes through to
 // stdout untouched, so the tool can sit at the end of a pipe without hiding
 // the run from the terminal.
+//
+// With -compare OLD.json, a per-benchmark ns/op delta table against the old
+// baseline prints after the passthrough; with a positional NEW.json argument
+// the new results load from that file instead of stdin (no passthrough).
+// Under -compare the parsed JSON is written only when -o names a file.
 package main
 
 import (
@@ -20,6 +27,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -76,27 +85,100 @@ func parseLine(line string) (Bench, bool) {
 	return b, true
 }
 
+// key identifies a benchmark across runs: name plus GOMAXPROCS suffix.
+func key(b Bench) string { return fmt.Sprintf("%s-%d", b.Name, b.Procs) }
+
+// compareBenches renders the per-benchmark ns/op delta table between two
+// result sets, in the new set's order, with benchmarks present in only one
+// set listed after it.
+func compareBenches(w io.Writer, oldB, newB []Bench) {
+	oldBy := make(map[string]Bench, len(oldB))
+	for _, b := range oldB {
+		oldBy[key(b)] = b
+	}
+	newSeen := make(map[string]bool, len(newB))
+	fmt.Fprintf(w, "%-44s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, nb := range newB {
+		k := key(nb)
+		newSeen[k] = true
+		ob, ok := oldBy[k]
+		if !ok {
+			fmt.Fprintf(w, "%-44s %12s %12.2f %8s\n", k, "-", nb.NsPerOp, "new")
+			continue
+		}
+		delta := "-"
+		if ob.NsPerOp > 0 {
+			pct := 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+			delta = fmt.Sprintf("%+.1f%%", pct)
+			if math.Abs(pct) < 0.05 {
+				delta = "~"
+			}
+		}
+		fmt.Fprintf(w, "%-44s %12.2f %12.2f %8s\n", k, ob.NsPerOp, nb.NsPerOp, delta)
+	}
+	for _, ob := range oldB {
+		if !newSeen[key(ob)] {
+			fmt.Fprintf(w, "%-44s %12.2f %12s %8s\n", key(ob), ob.NsPerOp, "-", "gone")
+		}
+	}
+}
+
+func readBenchFile(path string) ([]Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var benches []Bench
+	if err := json.Unmarshal(data, &benches); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return benches, nil
+}
+
 func main() { os.Exit(run()) }
 
 func run() int {
-	out := flag.String("o", "", "write the JSON array to this file (default stdout, after the passthrough)")
+	out := flag.String("o", "", "write the JSON array to this file (default stdout, after the passthrough; with -compare, only when set)")
+	compare := flag.String("compare", "", "old benchjson JSON baseline: print a per-benchmark ns/op delta table against it")
 	flag.Parse()
 
 	var benches []Bench
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Println(line)
-		if b, ok := parseLine(line); ok {
-			benches = append(benches, b)
+	if path := flag.Arg(0); path != "" {
+		// Positional JSON file: compare two archived baselines without
+		// re-running anything.
+		var err error
+		if benches, err = readBenchFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	} else {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Println(line)
+			if b, ok := parseLine(line); ok {
+				benches = append(benches, b)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
+
+	if *compare != "" {
+		oldB, err := readBenchFile(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		compareBenches(os.Stdout, oldB, benches)
 	}
 
+	if *compare != "" && *out == "" {
+		return 0 // comparison only; no JSON dump wanted
+	}
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

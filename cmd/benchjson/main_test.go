@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	b, ok := parseLine("BenchmarkEngineCallEvents-8  \t 7670774\t       151.4 ns/op\t       0 B/op\t       0 allocs/op")
@@ -22,6 +25,41 @@ func TestParseLineCustomMetric(t *testing.T) {
 	}
 	if b.Extra["events/op"] != 42.5 {
 		t.Fatalf("extra = %v", b.Extra)
+	}
+}
+
+func TestCompareBenches(t *testing.T) {
+	oldB := []Bench{
+		{Name: "BenchmarkEngineCallEvents", Procs: 8, NsPerOp: 151.4},
+		{Name: "BenchmarkGone", Procs: 8, NsPerOp: 10},
+		{Name: "BenchmarkFlat", Procs: 8, NsPerOp: 200},
+	}
+	newB := []Bench{
+		{Name: "BenchmarkEngineCallEvents", Procs: 8, NsPerOp: 148.2},
+		{Name: "BenchmarkFlat", Procs: 8, NsPerOp: 200},
+		{Name: "BenchmarkAdded", Procs: 8, NsPerOp: 33.3},
+	}
+	var sb strings.Builder
+	compareBenches(&sb, oldB, newB)
+	out := sb.String()
+	for _, want := range []string{
+		"BenchmarkEngineCallEvents-8",
+		"151.40",
+		"148.20",
+		"-2.1%", // (148.2-151.4)/151.4
+		"~",     // flat benchmark renders as unchanged
+		"new",   // BenchmarkAdded has no old baseline
+		"gone",  // BenchmarkGone vanished from the new set
+		"BenchmarkAdded-8",
+		"BenchmarkGone-8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison output missing %q:\n%s", want, out)
+		}
+	}
+	// Rows follow new-set order; removed benchmarks list last.
+	if strings.Index(out, "BenchmarkAdded-8") > strings.Index(out, "BenchmarkGone-8") {
+		t.Errorf("removed benchmarks should list after new-set rows:\n%s", out)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"strings"
@@ -59,6 +60,32 @@ func parseExt(s string) (ccsim.Ext, error) {
 	return e, nil
 }
 
+// writeSide writes one side-channel artifact to path ("-" = stderr),
+// logging and returning false on failure.
+func writeSide(logger *slog.Logger, what, path string, write func(io.Writer) error) bool {
+	w := io.Writer(os.Stderr)
+	var f *os.File
+	if path != "-" {
+		var err error
+		if f, err = os.Create(path); err != nil {
+			logger.Error(what+" export failed", "err", err)
+			return false
+		}
+		w = f
+	}
+	if err := write(w); err != nil {
+		logger.Error(what+" export failed", "err", err)
+		return false
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			logger.Error(what+" export failed", "err", err)
+			return false
+		}
+	}
+	return true
+}
+
 // main delegates to run so deferred profile flushing survives every exit
 // path (os.Exit would skip it).
 func main() { os.Exit(run()) }
@@ -82,6 +109,8 @@ func run() int {
 	traceAddrs := flag.String("traceaddrs", "", "comma-separated byte addresses restricting the trace")
 	jsonOut := flag.Bool("json", false, "print the full result as JSON instead of the text report")
 	timeline := flag.String("timeline", "", "write a Perfetto/Chrome trace-event timeline to this file")
+	sharingOut := flag.String("sharing", "", "attach the sharing-pattern analyzer and write its per-class report to this file (\"-\" = stderr); also lands in -json output")
+	selfprofile := flag.String("selfprofile", "", "attach the engine self-profiler and write benchjson-compatible JSON to this file (\"-\" = stderr)")
 	maxEvents := flag.Uint64("max-events", 0, "abort after this many simulation events (0 = unlimited)")
 	deadline := flag.Int64("deadline", 0, "abort past this simulated time in pclocks (0 = unlimited)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -137,6 +166,12 @@ func run() int {
 	cfg.Extensions = e
 	if *timeline != "" {
 		cfg.Telemetry = ccsim.NewTelemetry()
+	}
+	if *sharingOut != "" {
+		cfg.Sharing = ccsim.NewSharingAnalytics()
+	}
+	if *selfprofile != "" {
+		cfg.SelfProfile = ccsim.NewSelfProfiler()
 	}
 
 	if *traceOut != "" {
@@ -253,6 +288,23 @@ func run() int {
 		}
 		if cerr := f.Close(); cerr != nil {
 			logger.Error("timeline export failed", "err", cerr)
+			return 1
+		}
+	}
+
+	// The sharing report and self-profile go to their own files (or
+	// stderr), never stdout: a run with analytics on stays byte-identical
+	// on stdout to one without.
+	if *sharingOut != "" {
+		if !writeSide(logger, "sharing report", *sharingOut, func(w io.Writer) error {
+			cfg.Sharing.Report().Fprint(w)
+			return nil
+		}) {
+			return 1
+		}
+	}
+	if *selfprofile != "" {
+		if !writeSide(logger, "self-profile", *selfprofile, cfg.SelfProfile.WriteJSON) {
 			return 1
 		}
 	}

@@ -23,6 +23,8 @@
 //	experiments -cpuprofile p.out   # write a runtime/pprof CPU profile
 //	experiments -max-events 5000000000  # watchdog: bound every run's events
 //	experiments -inject-fault mp3d/P+CW  # crash one run, prove containment
+//	experiments -sharing ...        # sharing-pattern analytics per run, sweep aggregate at exit
+//	experiments -selfprofile sp.json  # engine self-profile aggregated across the sweep
 //
 // All experiments of one invocation share a scheduler: a configuration
 // named by several experiments (every figure's BASIC baseline, Table 2's
@@ -88,6 +90,8 @@ func run() int {
 	liveCheck := flag.Bool("check", false, "attach the live coherence checker to every run (validation sweeps; slower, disables run dedup)")
 	maxEvents := flag.Uint64("max-events", 0, "abort any single run after this many events (0 = unlimited)")
 	deadline := flag.Int64("deadline", 0, "abort any single run past this simulated time in pclocks (0 = unlimited)")
+	sharing := flag.Bool("sharing", false, "attach the sharing-pattern analyzer to every run; the sweep-wide aggregate prints to stderr at the end and serves live at /sharing (disables run dedup)")
+	selfprofile := flag.String("selfprofile", "", "attach one engine self-profiler across every run and write benchjson-compatible JSON to this file (disables run dedup)")
 	flag.Parse()
 
 	logger := newLogger(*logJSON, *quiet)
@@ -107,12 +111,41 @@ func run() int {
 			return 1
 		}
 		defer srv.Close()
-		logger.Info("ops server listening", "addr", srv.Addr(), "endpoints", "/metrics /status")
+		logger.Info("ops server listening", "addr", srv.Addr(), "endpoints", "/metrics /status /sharing")
 	}
 	o := exp.Options{
 		Scale: *scale, Procs: *procs, MetricsDir: *metrics, Sched: sched,
 		InjectFault: *injectFault, MaxEvents: *maxEvents, Deadline: *deadline,
-		Check: *liveCheck,
+		Check: *liveCheck, Sharing: *sharing,
+	}
+	if *selfprofile != "" {
+		o.SelfProfile = ccsim.NewSelfProfiler()
+	}
+	// finish emits the end-of-sweep observability artifacts on every exit
+	// path: the sharing aggregate to stderr, the self-profile to its file.
+	finish := func(code int) int {
+		if *sharing {
+			if rep := sched.SharingReport(); rep != nil {
+				fmt.Fprintln(os.Stderr, "sweep-wide sharing-pattern aggregate:")
+				rep.Fprint(os.Stderr)
+			}
+		}
+		if *selfprofile != "" {
+			f, err := os.Create(*selfprofile)
+			if err == nil {
+				err = o.SelfProfile.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				logger.Error("self-profile export failed", "err", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+		return code
 	}
 	runExp := func(name string, fn func() error) error {
 		t0 := time.Now()
@@ -242,7 +275,7 @@ func run() int {
 		if reportFaults(logger, *logJSON, sched) {
 			code = 1
 		}
-		return code
+		return finish(code)
 	}
 	fn, ok := experiments[*which]
 	if !ok {
@@ -257,7 +290,7 @@ func run() int {
 	if reportFaults(logger, *logJSON, sched) {
 		code = 1
 	}
-	return code
+	return finish(code)
 }
 
 // reportFaults logs every faulted run from the scheduler's ledger as one

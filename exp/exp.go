@@ -105,6 +105,17 @@ type Options struct {
 	// that run with a SimFault. Checked runs bypass the scheduler's dedup
 	// cache and cost simulation speed; meant for validation sweeps.
 	Check bool
+
+	// Sharing attaches a fresh sharing-pattern analyzer (ccsim.Config.
+	// Sharing) to every run; each run's per-class totals merge into the
+	// scheduler's aggregate (Scheduler.SharingReport, the ops plane's
+	// /sharing endpoint). Analyzed runs bypass the dedup cache.
+	Sharing bool
+
+	// SelfProfile, when non-nil, attaches this engine self-profiler to
+	// every run, aggregating sampled wall-clock attribution across the
+	// whole sweep. Profiled runs bypass the dedup cache.
+	SelfProfile *ccsim.SelfProfiler
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -121,6 +132,10 @@ func (o Options) config(wl string) ccsim.Config {
 	if o.Check {
 		cfg.Check = ccsim.NewChecker()
 	}
+	if o.Sharing {
+		cfg.Sharing = ccsim.NewSharingAnalytics()
+	}
+	cfg.SelfProfile = o.SelfProfile
 	return cfg
 }
 

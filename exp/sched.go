@@ -44,6 +44,14 @@ type Scheduler struct {
 	completed uint64
 	nextID    uint64
 	live      map[uint64]LiveRun
+
+	// droppedSpans accumulates Result.DroppedSpans over completed runs so
+	// sweeps can alert on telemetry overflow from /metrics.
+	droppedSpans uint64
+
+	// sharing aggregates per-run analyzer totals across the sweep
+	// (Options.Sharing runs; see SharingReport).
+	sharing ccsim.SharingTotals
 }
 
 // SchedStats is one consistent snapshot of the scheduler's counters — the
@@ -56,6 +64,11 @@ type SchedStats struct {
 	Running   int    // runs executing right now
 	Completed uint64 // runs finished without error
 	Failed    uint64 // runs finished with an error (see Failed())
+
+	// DroppedSpans sums Result.DroppedSpans over completed runs: nonzero
+	// means telemetry span buffers overflowed somewhere in the sweep and
+	// exported timelines undercount transactions.
+	DroppedSpans uint64
 }
 
 // LiveRun describes one currently-executing simulation. Progress is the
@@ -107,13 +120,14 @@ func (s *Scheduler) Stats() SchedStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return SchedStats{
-		Submitted: s.submitted,
-		Unique:    s.unique,
-		DedupHits: s.dedupHits,
-		Queued:    s.queued,
-		Running:   len(s.live),
-		Completed: s.completed,
-		Failed:    uint64(len(s.failed)),
+		Submitted:    s.submitted,
+		Unique:       s.unique,
+		DedupHits:    s.dedupHits,
+		Queued:       s.queued,
+		Running:      len(s.live),
+		Completed:    s.completed,
+		Failed:       uint64(len(s.failed)),
+		DroppedSpans: s.droppedSpans,
 	}
 }
 
@@ -129,6 +143,15 @@ func (s *Scheduler) LiveRuns() []LiveRun {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// SharingReport renders the sweep-wide sharing-pattern aggregate: every
+// completed analyzed run's (Options.Sharing) per-class totals merged. Nil
+// until at least one analyzed run completes.
+func (s *Scheduler) SharingReport() *ccsim.SharingReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sharing.Report()
 }
 
 // Jobs returns the worker-pool size.
@@ -200,6 +223,11 @@ func (s *Scheduler) exec(p *Pending, cfg ccsim.Config) {
 		// across many concurrent cells, so each run gets its own oracle.
 		cfg.Check = ccsim.NewChecker()
 	}
+	if cfg.Sharing != nil {
+		// Same per-run-state rule as the checker; totals merge into the
+		// sweep aggregate on completion.
+		cfg.Sharing = ccsim.NewSharingAnalytics()
+	}
 	s.mu.Lock()
 	s.queued--
 	s.nextID++
@@ -221,6 +249,12 @@ func (s *Scheduler) exec(p *Pending, cfg ccsim.Config) {
 			s.failed = append(s.failed, FailedRun{Cfg: cfg, Err: p.err})
 		} else {
 			s.completed++
+			if p.res != nil {
+				s.droppedSpans += p.res.DroppedSpans
+			}
+			if cfg.Sharing != nil {
+				s.sharing.Merge(cfg.Sharing.Totals())
+			}
 		}
 		s.mu.Unlock()
 	}()
@@ -254,10 +288,12 @@ func (p *Pending) Cell() *ccsim.Result {
 
 // Fingerprint canonicalizes cfg into the scheduler's cache key. The second
 // return is false when the configuration cannot be cached (it carries a
-// trace, telemetry, progress or live-checker side channel, so running it
-// has observable effects beyond the Result).
+// trace, telemetry, progress, live-checker, sharing-analytics or
+// self-profiler side channel, so running it has observable effects beyond
+// the Result).
 func Fingerprint(cfg ccsim.Config) (string, bool) {
-	if cfg.TraceWriter != nil || cfg.Telemetry != nil || cfg.Progress != nil || cfg.Check != nil {
+	if cfg.TraceWriter != nil || cfg.Telemetry != nil || cfg.Progress != nil ||
+		cfg.Check != nil || cfg.Sharing != nil || cfg.SelfProfile != nil {
 		return "", false
 	}
 	scale := cfg.Scale

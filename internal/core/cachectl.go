@@ -305,6 +305,12 @@ func (c *CacheCtl) fillFLC(b memsys.Block) {
 // when the block reaches the FLC.
 func (c *CacheCtl) Read(a memsys.Addr, unblock func()) bool {
 	b := memsys.BlockOf(a)
+	if c.statsOn() && c.sys.Shr != nil {
+		// The classifier needs the full access stream, FLC hits included —
+		// read/write ratios and ownership handoffs are invisible in the
+		// miss stream alone.
+		c.sys.Shr.OnRead(c.id, uint64(b))
+	}
 	if c.flc.Lookup(b) {
 		if c.sys.verSeq != nil {
 			// Inclusion guarantees the SLC holds the block too; observe the
@@ -383,6 +389,9 @@ func (c *CacheCtl) readSLC(b memsys.Block, word int, unblock func()) {
 	if c.statsOn() {
 		c.Misses.Add(c.Cls.Classify(b))
 		c.CStats.SLCReadMisses++
+		if c.sys.Shr != nil {
+			c.sys.Shr.OnMiss(c.id, uint64(b))
+		}
 	}
 	c.missStart[b] = c.sys.Eng.Now()
 	ms := &mshr{kind: mshrRead, readers: []readerWait{{word, unblock}}}
@@ -451,6 +460,12 @@ func (c *CacheCtl) Write(a memsys.Addr, accepted, performed func()) bool {
 }
 
 func (c *CacheCtl) pushWrite(w flwbWrite) {
+	if c.statsOn() && c.sys.Shr != nil {
+		// Hooked at write-buffer accept so it fires exactly once per
+		// program-order write under every protocol — the SLC drain path
+		// varies (write-cache combining may absorb stores entirely).
+		c.sys.Shr.OnWrite(c.id, uint64(w.block), w.word)
+	}
 	w.ob = c.nextOb
 	c.nextOb++
 	c.liveObs++
@@ -826,6 +841,9 @@ func (c *CacheCtl) removeLine(b memsys.Block) *cache.Line {
 	}
 	c.sys.traceNode(trace.CacheEvict, "inval", b, c.id, line.State.String())
 	c.ckDrop(b, "inval")
+	if c.statsOn() && c.sys.Shr != nil {
+		c.sys.Shr.OnInvalidate(c.id, uint64(b))
+	}
 	c.flc.Invalidate(b)
 	c.Cls.Invalidate(b)
 	if line.PrefetchBit && c.pf != nil {
@@ -921,6 +939,9 @@ func (c *CacheCtl) onReadReply(m *Msg) {
 				c.CStats.ReadMissLatency += lat
 				c.CStats.ReadMissCount++
 				c.CStats.LatencyHist.Add(lat)
+				if c.sys.Shr != nil {
+					c.sys.Shr.OnMissLatency(uint64(b), lat)
+				}
 			}
 		}
 		for _, r := range ms.readers {
@@ -1145,6 +1166,9 @@ func (c *CacheCtl) onFwd(m *Msg) {
 
 func (c *CacheCtl) onUpdCopy(m *Msg) {
 	b := m.Block
+	if c.statsOn() && c.sys.Shr != nil {
+		c.sys.Shr.OnUpdate(c.id, uint64(b))
+	}
 	reply := &Msg{Type: MsgUpdAck, Block: b, Dst: m.Src}
 	line := c.slc.Lookup(b)
 	switch {

@@ -50,6 +50,13 @@ type System struct {
 	// Hook sites cost one nil check when disabled, like Tracer and Rec.
 	Check *check.Oracle
 
+	// Shr, when non-nil, is the sharing-pattern analyzer: processor
+	// accesses, demand misses, invalidations, updates and network messages
+	// report per block so each block's access stream can be classified
+	// (read-only, migratory, producer-consumer, ...). Hooks fire only
+	// inside the measured section and cost one nil check when disabled.
+	Shr *telemetry.Sharing
+
 	// mutArmed is the one-shot protocol-mutation trigger (Params.Mutate):
 	// the first transition matching the mutation kind takes it and
 	// misbehaves once, giving the checker a deterministic bug to catch.
@@ -247,6 +254,9 @@ func hopSrcBus(a any) {
 	}
 	if s.statsOn {
 		s.Traffic.Add(m.Class(), m.Size())
+		if s.Shr != nil {
+			s.Shr.OnTraffic(uint64(m.Block), m.Class(), m.Size())
+		}
 	}
 	s.Net.SendCall(m.Src, m.Dst, m.Size(), hopArrive, h)
 }

@@ -1,0 +1,91 @@
+package litmus
+
+import (
+	"ccsim"
+	"ccsim/internal/memsys"
+)
+
+// SharingShapes returns micro-programs whose access pattern on addrX is a
+// nominal instance of one sharing class, keyed by the class name the
+// telemetry classifier should recover (telemetry.SharingClass.String()).
+// Each shape is barrier-paced where the classification depends on the
+// cross-thread interleaving, so the classifier sees the same access stream
+// under every protocol, consistency model, and network.
+func SharingShapes() map[string]func() Program {
+	return map[string]func() Program{
+		"migratory":         Migratory,
+		"producer-consumer": ProducerConsumer,
+		"false-sharing":     FalseSharing,
+		"read-mostly":       ReadMostly,
+	}
+}
+
+// Migratory passes a token for addrX between two threads: on its turn a
+// thread reads the block, computes, and writes it back, then both threads
+// synchronize. The read-before-write on each turn is the migratory handoff
+// signature (exclusive read-modify-write episodes moving between nodes);
+// the barriers guarantee strict alternation so every writer change follows
+// the new writer's own read.
+func Migratory() Program {
+	const rounds = 6
+	var t0, t1 []ccsim.Op
+	for i := 0; i < rounds; i++ {
+		turn := []ccsim.Op{read(addrX), busy(5), write(addrX)}
+		if i%2 == 0 {
+			t0 = append(t0, turn...)
+		} else {
+			t1 = append(t1, turn...)
+		}
+		t0 = append(t0, barrier(i))
+		t1 = append(t1, barrier(i))
+	}
+	return Program{Name: "share_migratory", Threads: [][]ccsim.Op{t0, t1}}
+}
+
+// ProducerConsumer has a single writer feeding two readers: each round T0
+// writes addrX, a barrier publishes it, T1 and T2 read it, and a second
+// barrier closes the round. One stable writer with disjoint readers is the
+// producer-consumer signature.
+func ProducerConsumer() Program {
+	const rounds = 6
+	var t0, t1, t2 []ccsim.Op
+	for i := 0; i < rounds; i++ {
+		t0 = append(t0, write(addrX), barrier(2*i))
+		t1 = append(t1, barrier(2*i), read(addrX))
+		t2 = append(t2, barrier(2*i), read(addrX))
+		t0 = append(t0, barrier(2*i+1))
+		t1 = append(t1, barrier(2*i+1))
+		t2 = append(t2, barrier(2*i+1))
+	}
+	return Program{Name: "share_producer_consumer", Threads: [][]ccsim.Op{t0, t1, t2}}
+}
+
+// FalseSharing has two threads repeatedly writing different words of the
+// same block (word 0 and word 4) with no synchronization: multiple writers
+// whose word footprints never overlap. No pacing is needed — the word
+// disjointness alone is the signature, independent of interleaving.
+func FalseSharing() Program {
+	const rounds = 8
+	var t0, t1 []ccsim.Op
+	for i := 0; i < rounds; i++ {
+		t0 = append(t0, write(addrX), busy(5))
+		t1 = append(t1, write(addrX+4*memsys.WordSize), busy(5))
+	}
+	return Program{Name: "share_false_sharing", Threads: [][]ccsim.Op{t0, t1}}
+}
+
+// ReadMostly initializes addrX with a single write, publishes it with a
+// barrier, then has all four threads read it repeatedly: a read/write ratio
+// far above the classifier's threshold with multiple reader nodes.
+func ReadMostly() Program {
+	const reads = 12
+	threads := make([][]ccsim.Op, 4)
+	threads[0] = append(threads[0], write(addrX))
+	for t := range threads {
+		threads[t] = append(threads[t], barrier(0))
+		for i := 0; i < reads; i++ {
+			threads[t] = append(threads[t], read(addrX), busy(7))
+		}
+	}
+	return Program{Name: "share_read_mostly", Threads: threads}
+}

@@ -1,0 +1,54 @@
+package litmus
+
+import (
+	"testing"
+
+	"ccsim"
+)
+
+// TestSharingClassification runs each nominal sharing shape under every
+// protocol and asserts the telemetry classifier recovers the intended class
+// for addrX's block. Classification reads only the program-order access
+// stream (reads at issue, writes at write-buffer accept), so the verdict
+// must be protocol-independent.
+func TestSharingClassification(t *testing.T) {
+	protocols := []struct {
+		name string
+		ext  ccsim.Ext
+	}{
+		{"BASIC", ccsim.Ext{}},
+		{"P", ccsim.Ext{P: true}},
+		{"CW", ccsim.Ext{CW: true}},
+		{"M", ccsim.Ext{M: true}},
+	}
+	for want, mk := range SharingShapes() {
+		p := mk()
+		for _, proto := range protocols {
+			t.Run(p.Name+"/"+proto.name, func(t *testing.T) {
+				cfg := ccsim.DefaultConfig()
+				cfg.Procs = len(p.Threads)
+				cfg.Extensions = proto.ext
+				cfg.MaxEvents = maxEvents
+				sh := ccsim.NewSharingAnalytics()
+				cfg.Sharing = sh
+				streams := make([]ccsim.Stream, len(p.Threads))
+				for i, th := range p.Threads {
+					ops := make([]ccsim.Op, 0, len(th)+1)
+					ops = append(ops, ccsim.Op{Kind: ccsim.StatsOn})
+					ops = append(ops, th...)
+					streams[i] = ccsim.Ops(ops...)
+				}
+				if _, err := ccsim.RunStreams(cfg, streams); err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				class, ok := sh.ClassOf(uint64(blockOf(addrX)))
+				if !ok {
+					t.Fatalf("no sharing record for addrX block")
+				}
+				if got := class.String(); got != want {
+					t.Errorf("addrX classified %q, want %q", got, want)
+				}
+			})
+		}
+	}
+}

@@ -75,6 +75,16 @@ type Config struct {
 	// checker's value oracle rides the version plumbing). Nil is zero-cost
 	// on the hot path, like Progress.
 	Check *check.Oracle
+
+	// Sharing, when non-nil, attaches the sharing-pattern analyzer to the
+	// measured section's access stream. Nil costs one pointer test per hook,
+	// like Check.
+	Sharing *telemetry.Sharing
+
+	// SelfProf, when non-nil, attaches the engine self-profiler (sampled
+	// wall-clock attribution per event callback). May be shared across
+	// concurrent machines.
+	SelfProf *sim.SelfProfiler
 }
 
 // DefaultConfig returns the paper's baseline machine (BASIC, RC, uniform
@@ -144,6 +154,7 @@ func New(cfg Config, streams []proc.Stream) (*Machine, error) {
 	}
 	sys.Tracer = cfg.Tracer
 	sys.Tele = cfg.Tele
+	sys.Shr = cfg.Sharing
 	if cfg.Check != nil {
 		cfg.Check.Reset(cfg.Core.Nodes)
 		sys.Check = cfg.Check
@@ -186,6 +197,19 @@ func New(cfg Config, streams []proc.Stream) (*Machine, error) {
 				return int64(mesh.WaitTime())
 			})
 		}
+		if shr := cfg.Sharing; shr != nil {
+			// One machine-wide counter track per sharing class in the
+			// timeline export, sampled alongside the utilization gauges.
+			for c := telemetry.SharingClass(0); c < telemetry.NumSharingClasses; c++ {
+				c := c
+				cfg.Tele.WatchGauge("sharing-"+c.String()+"-blocks", -1, func() int64 {
+					return shr.ClassBlocks(c)
+				})
+				cfg.Tele.WatchGauge("sharing-"+c.String()+"-misses", -1, func() int64 {
+					return shr.ClassMisses(c)
+				})
+			}
+		}
 	}
 	return m, nil
 }
@@ -213,6 +237,9 @@ func (m *Machine) Run() (*Result, error) {
 	}
 	if m.Cfg.Progress != nil {
 		m.Eng.SetProgress(m.Cfg.Progress)
+	}
+	if m.Cfg.SelfProf != nil {
+		m.Eng.SetSelfProfiler(m.Cfg.SelfProf)
 	}
 	if m.Cfg.Tele != nil {
 		m.Cfg.Tele.StartSampler(m.Eng)

@@ -3,13 +3,17 @@
 // endpoints, both read-only and safe to scrape at any rate:
 //
 //   - /metrics — Prometheus text exposition: scheduler gauges
-//     (queued/running/completed/failed/dedup-hits), the fault counter, and
-//     per-live-run series (events executed, simulated time, events/sec,
-//     heartbeat age).
+//     (queued/running/completed/failed/dedup-hits), the fault and
+//     dropped-span counters, per-live-run series (events executed,
+//     simulated time, events/sec, heartbeat age), and per-sharing-class
+//     series when a sweep runs with analytics on. The full series
+//     catalogue lives in EXPERIMENTS.md (a test keeps it in sync).
 //   - /status — one JSON document: the same scheduler counters plus a full
 //     per-run table, including each run's watchdog heartbeat age, so a run
 //     stuck inside a single event (invisible to the event-counting
 //     watchdog) shows up before anything kills it.
+//   - /sharing — the sweep-wide sharing-pattern aggregate as JSON (null
+//     until an analyzed run completes).
 //
 // Every read goes through lock-free Progress probes or the scheduler's
 // short-lived mutex; scraping never blocks a simulation.
@@ -23,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"ccsim"
 	"ccsim/exp"
 )
 
@@ -31,6 +36,9 @@ import (
 type Source interface {
 	Stats() exp.SchedStats
 	LiveRuns() []exp.LiveRun
+	// SharingReport returns the sweep-wide sharing-pattern aggregate, nil
+	// when no analyzed run has completed.
+	SharingReport() *ccsim.SharingReport
 }
 
 // Server serves the ops endpoints for one Source.
@@ -78,18 +86,19 @@ func (s *Server) Close() error {
 	return s.srv.Close()
 }
 
-// Handler returns the ops mux: /metrics, /status, and a plain-text index
-// at /.
+// Handler returns the ops mux: /metrics, /status, /sharing, and a
+// plain-text index at /.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.metrics)
 	mux.HandleFunc("/status", s.status)
+	mux.HandleFunc("/sharing", s.sharing)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "ccsim sweep ops plane\n/metrics  Prometheus text\n/status   JSON run table\n")
+		fmt.Fprint(w, "ccsim sweep ops plane\n/metrics  Prometheus text\n/status   JSON run table\n/sharing  JSON sharing-pattern aggregate\n")
 	})
 	return mux
 }
@@ -156,6 +165,19 @@ func (s *Server) status(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(s.snapshot()) //nolint:errcheck // client hangup mid-scrape is benign
 }
 
+// sharing serves the sweep-wide sharing-pattern aggregate. The report is
+// null until at least one run with analytics attached completes.
+func (s *Server) sharing(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	doc := struct {
+		UnixNanos int64                `json:"unix_nanos"`
+		Sharing   *ccsim.SharingReport `json:"sharing"`
+	}{time.Now().UnixNano(), s.src.SharingReport()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc) //nolint:errcheck // client hangup mid-scrape is benign
+}
+
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	st := s.snapshot()
@@ -173,6 +195,7 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	counter("ccsim_sched_dedup_hits_total", "Submissions served by the run cache without a new simulation.", sch.DedupHits)
 	counter("ccsim_sched_completed_total", "Runs finished without error.", sch.Completed)
 	counter("ccsim_sched_faults_total", "Runs finished with an error: contained panics, watchdog aborts, metrics-write failures.", sch.Failed)
+	counter("ccsim_dropped_spans_total", "Telemetry spans discarded by span-buffer overflow across completed runs; nonzero means timelines undercount.", sch.DroppedSpans)
 	gauge("ccsim_sched_queued", "Runs waiting for a worker slot.", sch.Queued)
 	gauge("ccsim_sched_running", "Runs executing right now.", sch.Running)
 
@@ -195,6 +218,53 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 		perRun("ccsim_run_heartbeat_age_seconds", "Seconds since a live run's engine last published progress.", "gauge")
 		for _, r := range st.Runs {
 			fmt.Fprintf(&b, "ccsim_run_heartbeat_age_seconds{%s} %g\n", runLabels(r), r.HeartbeatAgeSeconds)
+		}
+	}
+
+	if rep := s.src.SharingReport(); rep != nil && len(rep.Classes) > 0 {
+		perClass := func(name, help, typ string, v func(c ccsim.SharingClassStats) uint64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+			for _, c := range rep.Classes {
+				fmt.Fprintf(&b, "%s{class=%s} %d\n", name, labelValue(c.Class), v(c))
+			}
+		}
+		perClass("ccsim_sharing_blocks", "Blocks carrying each sharing-pattern label across analyzed runs.", "gauge",
+			func(c ccsim.SharingClassStats) uint64 { return c.Blocks })
+		perClass("ccsim_sharing_reads_total", "Processor reads attributed to each sharing class.", "counter",
+			func(c ccsim.SharingClassStats) uint64 { return c.Reads })
+		perClass("ccsim_sharing_writes_total", "Processor writes attributed to each sharing class.", "counter",
+			func(c ccsim.SharingClassStats) uint64 { return c.Writes })
+		perClass("ccsim_sharing_misses_total", "SLC demand read misses attributed to each sharing class.", "counter",
+			func(c ccsim.SharingClassStats) uint64 { return c.Misses })
+		perClass("ccsim_sharing_invalidations_total", "Coherence invalidations attributed to each sharing class.", "counter",
+			func(c ccsim.SharingClassStats) uint64 { return c.Invalidations })
+		perClass("ccsim_sharing_updates_total", "Write-update deliveries attributed to each sharing class.", "counter",
+			func(c ccsim.SharingClassStats) uint64 { return c.Updates })
+
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n",
+			"ccsim_sharing_traffic_bytes_total", "Network bytes attributed to each sharing class, by message kind.",
+			"ccsim_sharing_traffic_bytes_total")
+		for _, c := range rep.Classes {
+			for _, kb := range []struct {
+				kind string
+				v    uint64
+			}{{"control", c.CtlBytes}, {"data", c.DataBytes}, {"update", c.UpdateBytes}} {
+				fmt.Fprintf(&b, "ccsim_sharing_traffic_bytes_total{class=%s,kind=%s} %d\n",
+					labelValue(c.Class), labelValue(kb.kind), kb.v)
+			}
+		}
+
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n",
+			"ccsim_sharing_miss_latency_pclocks", "Demand-miss service-time distribution per sharing class (bucketed upper bounds; max is exact).",
+			"ccsim_sharing_miss_latency_pclocks")
+		for _, c := range rep.Classes {
+			for _, qv := range []struct {
+				q string
+				v int64
+			}{{"0.5", c.MissLatencyP50}, {"0.95", c.MissLatencyP95}, {"0.99", c.MissLatencyP99}, {"max", c.MissLatencyMax}} {
+				fmt.Fprintf(&b, "ccsim_sharing_miss_latency_pclocks{class=%s,quantile=%s} %d\n",
+					labelValue(c.Class), labelValue(qv.q), qv.v)
+			}
 		}
 	}
 	w.Write([]byte(b.String())) //nolint:errcheck // client hangup mid-scrape is benign

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"regexp"
 	"strings"
 	"sync"
@@ -15,11 +16,12 @@ import (
 	"ccsim/internal/sim"
 )
 
-// fakeSource is a Source with fixed stats and runs.
+// fakeSource is a Source with fixed stats, runs and sharing report.
 type fakeSource struct {
-	mu    sync.Mutex
-	stats exp.SchedStats
-	runs  []exp.LiveRun
+	mu      sync.Mutex
+	stats   exp.SchedStats
+	runs    []exp.LiveRun
+	sharing *ccsim.SharingReport
 }
 
 func (f *fakeSource) Stats() exp.SchedStats {
@@ -32,6 +34,12 @@ func (f *fakeSource) LiveRuns() []exp.LiveRun {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return append([]exp.LiveRun(nil), f.runs...)
+}
+
+func (f *fakeSource) SharingReport() *ccsim.SharingReport {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sharing
 }
 
 // driveProbe runs a real engine with the probe attached so its counters
@@ -63,10 +71,21 @@ func testSource(t *testing.T) *fakeSource {
 		stats: exp.SchedStats{
 			Submitted: 275, Unique: 200, DedupHits: 75,
 			Queued: 10, Running: 2, Completed: 180, Failed: 8,
+			DroppedSpans: 3,
 		},
 		runs: []exp.LiveRun{
 			{ID: 1, Workload: "mp3d", Protocol: "P+CW", Progress: p},
 			{ID: 2, Workload: "ocean", Protocol: "BASIC-SC", Progress: &ccsim.Progress{}},
+		},
+		sharing: &ccsim.SharingReport{
+			Blocks: 11,
+			Classes: []ccsim.SharingClassStats{
+				{Class: "read-only", Blocks: 7, Reads: 700},
+				{Class: "migratory", Blocks: 4, Reads: 40, Writes: 40,
+					Misses: 12, Invalidations: 9, Updates: 2, Msgs: 60,
+					CtlBytes: 480, DataBytes: 384, UpdateBytes: 24,
+					MissLatencyP50: 30, MissLatencyP95: 60, MissLatencyP99: 70, MissLatencyMax: 81},
+			},
 		},
 	}
 }
@@ -108,9 +127,62 @@ func TestMetricsParses(t *testing.T) {
 		`ccsim_run_sim_time_pclocks{run="1",workload="mp3d",protocol="P+CW"}`,
 		`ccsim_run_events_per_second{run="1"`,
 		`ccsim_run_heartbeat_age_seconds{run="2",workload="ocean",protocol="BASIC-SC"} 0`,
+		"ccsim_dropped_spans_total 3",
+		`ccsim_sharing_blocks{class="migratory"} 4`,
+		`ccsim_sharing_misses_total{class="migratory"} 12`,
+		`ccsim_sharing_reads_total{class="read-only"} 700`,
+		`ccsim_sharing_traffic_bytes_total{class="migratory",kind="update"} 24`,
+		`ccsim_sharing_miss_latency_pclocks{class="migratory",quantile="0.95"} 60`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q\nbody:\n%s", want, body)
+		}
+	}
+}
+
+// docSeries matches a backticked ccsim_* series name in the EXPERIMENTS.md
+// catalogue table.
+var docSeries = regexp.MustCompile("`(ccsim_[a-z0-9_]+)`")
+
+// TestMetricsCatalogueInSync asserts the Prometheus catalogue table in
+// EXPERIMENTS.md names exactly the series a fully-populated /metrics scrape
+// serves — no undocumented series, no stale documentation.
+func TestMetricsCatalogueInSync(t *testing.T) {
+	doc, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]bool{}
+	for _, m := range docSeries.FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no ccsim_* series documented in EXPERIMENTS.md")
+	}
+
+	// testSource populates every series family: scheduler counters and
+	// gauges, live runs, dropped spans, and a sharing report.
+	_, body := get(t, NewServer(testSource(t)).Handler(), "/metrics")
+	served := map[string]bool{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		served[name] = true
+	}
+
+	for name := range served {
+		if !documented[name] {
+			t.Errorf("series %s served by /metrics but missing from the EXPERIMENTS.md catalogue", name)
+		}
+	}
+	for name := range documented {
+		if !served[name] {
+			t.Errorf("series %s documented in EXPERIMENTS.md but never served by a fully-populated /metrics", name)
 		}
 	}
 }
@@ -164,7 +236,7 @@ func TestServeEndToEnd(t *testing.T) {
 	if srv.Addr() == "" {
 		t.Fatal("no bound address")
 	}
-	for _, path := range []string{"/", "/metrics", "/status"} {
+	for _, path := range []string{"/", "/metrics", "/status", "/sharing"} {
 		resp, err := http.Get("http://" + srv.Addr() + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)

@@ -39,6 +39,12 @@ type Engine struct {
 	// progress, when non-nil, is the live probe RunWatched publishes
 	// position updates through (see SetProgress).
 	progress *Progress
+
+	// prof, when non-nil, is the engine self-profiler; Step samples one
+	// event in selfProfStride through it (see SetSelfProfiler). profLast is
+	// the wall-clock nanosecond of the previous sample.
+	prof     *SelfProfiler
+	profLast int64
 }
 
 // NewEngine returns an engine with an empty event queue at time 0.
@@ -97,6 +103,9 @@ func (e *Engine) Step() bool {
 	ev := e.pop()
 	e.now = ev.at
 	e.nsteps++
+	if e.prof != nil && e.nsteps&(selfProfStride-1) == 0 {
+		e.profSample(&ev)
+	}
 	if ev.call != nil {
 		ev.call(ev.arg)
 	} else {

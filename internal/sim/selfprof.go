@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// selfProfStride is the sampling period in events. The engine samples one
+// event out of every stride: the wall-clock window since the previous sample
+// is attributed to the sampled event's callback, statistically charging each
+// callback in proportion to how often it runs and how long it takes. A
+// power of two keeps the Step-path check to a mask-and-compare, and 64 gives
+// ~2% sampling overhead in the worst case (one time.Now per 64 events) while
+// converging within a fraction of a second of simulated work.
+const selfProfStride = 64
+
+// SelfProfiler attributes engine wall-clock time to event callbacks, grouped
+// by function and component (the package that registered the callback). The
+// engine's hot path pays one nil check when no profiler is attached and one
+// mask-compare per event when one is; the sample itself resolves the
+// callback's PC and takes a mutex, but runs once per selfProfStride events.
+// One profiler may be shared across concurrent engines (a sweep): samples
+// funnel through the mutex, per-engine state stays in the engine.
+type SelfProfiler struct {
+	mu      sync.Mutex
+	entries map[uintptr]*profEntry
+	samples uint64
+	nanos   int64
+}
+
+type profEntry struct {
+	name      string
+	component string
+	samples   uint64
+	nanos     int64
+}
+
+// NewSelfProfiler returns an empty profiler ready to attach via
+// Engine.SetSelfProfiler (or Config.SelfProfile at the API layer).
+func NewSelfProfiler() *SelfProfiler {
+	return &SelfProfiler{entries: make(map[uintptr]*profEntry)}
+}
+
+// SetSelfProfiler attaches (or, with nil, detaches) the self-profiler.
+func (e *Engine) SetSelfProfiler(p *SelfProfiler) {
+	e.prof = p
+	e.profLast = 0
+}
+
+// profSample charges the window since the previous sample to ev's callback.
+func (e *Engine) profSample(ev *event) {
+	now := time.Now().UnixNano()
+	d := now - e.profLast
+	if e.profLast == 0 || d < 0 {
+		d = 0 // first sample, or clock went backwards
+	}
+	e.profLast = now
+	var pc uintptr
+	if ev.call != nil {
+		pc = reflect.ValueOf(ev.call).Pointer()
+	} else {
+		pc = reflect.ValueOf(ev.fn).Pointer()
+	}
+	e.prof.record(pc, d)
+}
+
+func (p *SelfProfiler) record(pc uintptr, d int64) {
+	p.mu.Lock()
+	ent := p.entries[pc]
+	if ent == nil {
+		name, component := resolveCallback(pc)
+		ent = &profEntry{name: name, component: component}
+		p.entries[pc] = ent
+	}
+	ent.samples++
+	ent.nanos += d
+	p.samples++
+	p.nanos += d
+	p.mu.Unlock()
+}
+
+// resolveCallback names the callback function at pc: "component.Func" with
+// the module prefix stripped ("core.hopSrcBus", "sim.(*Engine).Run-fm" →
+// "sim.runWatchdog"-style names).
+func resolveCallback(pc uintptr) (name, component string) {
+	f := runtime.FuncForPC(pc)
+	if f == nil {
+		return "unknown", "unknown"
+	}
+	name = f.Name() // e.g. ccsim/internal/core.hopSrcBus
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	name = strings.TrimSuffix(name, "-fm")
+	component = name
+	if i := strings.Index(component, "."); i >= 0 {
+		component = component[:i]
+	}
+	return name, component
+}
+
+// ProfEntry is one callback's attribution in a snapshot.
+type ProfEntry struct {
+	Name      string  // "core.hopSrcBus"
+	Component string  // "core"
+	Samples   uint64  // sampling hits
+	Events    uint64  // events attributed (Samples * stride)
+	Nanos     int64   // wall nanoseconds attributed
+	Share     float64 // fraction of all attributed time
+}
+
+// Entries returns the attribution sorted by time descending (name as the
+// tie-break, so output order is deterministic).
+func (p *SelfProfiler) Entries() []ProfEntry {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ProfEntry, 0, len(p.entries))
+	for _, ent := range p.entries {
+		e := ProfEntry{
+			Name:      ent.name,
+			Component: ent.component,
+			Samples:   ent.samples,
+			Events:    ent.samples * selfProfStride,
+			Nanos:     ent.nanos,
+		}
+		if p.nanos > 0 {
+			e.Share = float64(ent.nanos) / float64(p.nanos)
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Nanos != out[j].Nanos {
+			return out[i].Nanos > out[j].Nanos
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// selfProfBench mirrors cmd/benchjson's record shape so a self-profile can
+// feed the same comparison tooling as `make bench` output.
+type selfProfBench struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+// WriteJSON emits the attribution as a benchjson-compatible array: one
+// record per callback, named "SelfProfile/<func>", with iterations = events
+// attributed and ns_per_op = wall nanoseconds per event. `share` and
+// `samples` ride in extra.
+func (p *SelfProfiler) WriteJSON(w io.Writer) error {
+	entries := p.Entries()
+	out := make([]selfProfBench, 0, len(entries))
+	for _, e := range entries {
+		rec := selfProfBench{
+			Name:       "SelfProfile/" + e.Name,
+			Procs:      1,
+			Iterations: int64(e.Events),
+			Extra: map[string]float64{
+				"share":   e.Share,
+				"samples": float64(e.Samples),
+			},
+		}
+		if e.Events > 0 {
+			rec.NsPerOp = float64(e.Nanos) / float64(e.Events)
+		}
+		out = append(out, rec)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Fprint renders a human-readable table of the top entries.
+func (p *SelfProfiler) Fprint(w io.Writer) {
+	entries := p.Entries()
+	if len(entries) == 0 {
+		io.WriteString(w, "self-profile: no samples\n")
+		return
+	}
+	io.WriteString(w, "self-profile (wall time per event callback):\n")
+	for _, e := range entries {
+		ns := float64(0)
+		if e.Events > 0 {
+			ns = float64(e.Nanos) / float64(e.Events)
+		}
+		fmt.Fprintf(w, "  %-40s %5.1f%%  %7.1f ns/event  %d samples\n",
+			e.Name, e.Share*100, ns, e.Samples)
+	}
+}

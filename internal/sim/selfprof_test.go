@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestSelfProfilerDisabledAddsNoAllocs pins the disabled path's cost: an
+// engine with no profiler attached (the default) must dispatch events
+// without allocating — the Step hook is a single nil check.
+func TestSelfProfilerDisabledAddsNoAllocs(t *testing.T) {
+	eng := NewEngine()
+	arg := &benchArg{}
+	if n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 256; i++ {
+			eng.AfterCall(Time(i%7), benchStep, arg)
+		}
+		eng.Run()
+	}); n != 0 {
+		t.Fatalf("profiler-less engine allocates %v times per run, want 0", n)
+	}
+}
+
+// TestSelfProfilerAttributesCallbacks attaches a profiler, drains well over
+// one sampling stride of events, and checks the profile resolves the
+// callback by name and round-trips through the benchjson-shaped JSON.
+func TestSelfProfilerAttributesCallbacks(t *testing.T) {
+	eng := NewEngine()
+	p := NewSelfProfiler()
+	eng.SetSelfProfiler(p)
+	arg := &benchArg{}
+	const events = 64 * selfProfStride
+	for i := 0; i < events; i++ {
+		eng.AfterCall(Time(i%7), benchStep, arg)
+	}
+	eng.Run()
+	if arg.n != events {
+		t.Fatalf("ran %d of %d events", arg.n, events)
+	}
+
+	entries := p.Entries()
+	if len(entries) == 0 {
+		t.Fatal("profiler saw no samples after 64 strides of events")
+	}
+	var total float64
+	found := false
+	for _, e := range entries {
+		total += e.Share
+		if e.Samples <= 0 || e.Nanos < 0 {
+			t.Errorf("entry %+v has non-positive samples or negative time", e)
+		}
+		if e.Name == "sim.benchStep" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no entry resolved to sim.benchStep: %+v", entries)
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Errorf("shares sum to %v, want ~1", total)
+	}
+
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatalf("WriteJSON output not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(rows) != len(entries) {
+		t.Fatalf("JSON has %d rows, Entries has %d", len(rows), len(entries))
+	}
+}

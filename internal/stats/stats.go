@@ -85,6 +85,10 @@ const (
 	nMsgClasses
 )
 
+// NumMsgClasses is the number of message classes, for per-class arrays and
+// label iteration outside this package.
+const NumMsgClasses = int(nMsgClasses)
+
 func (c MsgClass) String() string {
 	switch c {
 	case CtlMsg:

@@ -116,6 +116,11 @@ type Result struct {
 	// nothing overflowed.
 	DroppedSpans uint64 `json:",omitempty"`
 
+	// Sharing is the per-class sharing-pattern summary: block counts, event
+	// attribution and miss-latency distribution for each observed access
+	// pattern. Nil unless the run had an analyzer attached (Config.Sharing).
+	Sharing *SharingReport `json:",omitempty"`
+
 	// Extension activity.
 	PrefetchesIssued  uint64
 	PrefetchesUseful  uint64
@@ -162,6 +167,7 @@ func convertResult(cfg Config, r *machine.Result) *Result {
 		Resources:          convertResources(r),
 		MissPhasePclocks:   missPhases(cfg),
 		DroppedSpans:       cfg.Telemetry.DroppedSpans(),
+		Sharing:            cfg.Sharing.Report(),
 		PrefetchesIssued:   r.Prefetch.Issued,
 		PrefetchesUseful:   r.Prefetch.Useful,
 		PrefetchPartHits:   r.Prefetch.PartHits,

@@ -22,3 +22,25 @@ type TelemetryOptions = telemetry.Options
 // NewTelemetryWith returns a collector with the given options; zero fields
 // take their defaults.
 func NewTelemetryWith(opts TelemetryOptions) *Telemetry { return telemetry.New(opts) }
+
+// SharingAnalytics is the online per-block sharing-pattern classifier
+// attached via Config.Sharing: it watches the measured section's access
+// stream and labels every block read-only, read-mostly, migratory,
+// producer-consumer, false-sharing or irregular, attributing misses,
+// invalidations, update traffic and miss-latency histograms per class. A
+// nil analyzer is a no-op on every path.
+type SharingAnalytics = telemetry.Sharing
+
+// NewSharingAnalytics returns an empty analyzer for one run.
+func NewSharingAnalytics() *SharingAnalytics { return telemetry.NewSharing() }
+
+// SharingReport is the per-class summary a run's analyzer produces
+// (Result.Sharing, SharingAnalytics.Report).
+type SharingReport = telemetry.SharingReport
+
+// SharingTotals is the mergeable per-class aggregate behind a report;
+// sweeps Merge per-run totals and Report the sum.
+type SharingTotals = telemetry.SharingTotals
+
+// SharingClassStats is one class's row in a SharingReport.
+type SharingClassStats = telemetry.SharingClassStats

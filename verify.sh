@@ -29,7 +29,22 @@ fi
 /tmp/ccsim-verify -workload mp3d -scale 0.05 -procs 4 -check > /tmp/ccsim-checked.txt
 /tmp/ccsim-verify -workload mp3d -scale 0.05 -procs 4 > /tmp/ccsim-unchecked.txt
 cmp /tmp/ccsim-checked.txt /tmp/ccsim-unchecked.txt
-rm -f /tmp/ccsim-verify /tmp/ccsim-checked.txt /tmp/ccsim-unchecked.txt
+
+# Analytics smoke: sharing-pattern analytics and the engine self-profiler
+# are pure side channels too — a run with both attached (and the checker,
+# the heaviest combination) must pass and leave stdout byte-identical to a
+# plain run, with the reports landing in their side files. The disabled
+# path must stay free: the no-allocs tests pin the nil-hook cost to zero.
+/tmp/ccsim-verify -workload mp3d -scale 0.05 -procs 4 -check \
+    -sharing /tmp/ccsim-sharing.txt -selfprofile /tmp/ccsim-selfprof.json \
+    > /tmp/ccsim-analytics.txt
+cmp /tmp/ccsim-analytics.txt /tmp/ccsim-unchecked.txt
+test -s /tmp/ccsim-sharing.txt
+test -s /tmp/ccsim-selfprof.json
+go test -count=1 -run 'TestAnalyticsDisabledAddsNoAllocs' ccsim
+go test -count=1 -run 'TestSelfProfilerDisabledAddsNoAllocs' ccsim/internal/sim
+rm -f /tmp/ccsim-verify /tmp/ccsim-checked.txt /tmp/ccsim-unchecked.txt \
+    /tmp/ccsim-analytics.txt /tmp/ccsim-sharing.txt /tmp/ccsim-selfprof.json
 
 # Bounded checked-random-walk litmus pass: seeded micro-programs across the
 # protocol grid under the live checker (the corpus itself runs in
