@@ -15,11 +15,13 @@ chaos:
 	go test -run TestChaos -v -count=1 ./exp
 
 # Benchmarks, archived machine-readably: the raw go test output streams to
-# the terminal while cmd/benchjson writes the parsed results to
-# BENCH_PR6.json for cross-PR comparison. Diff two baselines with
-# `go run ./cmd/benchjson -compare BENCH_PR4.json BENCH_PR6.json`.
+# the terminal while cmd/benchjson writes the parsed results to $(BENCH_OUT)
+# for cross-PR comparison. Archive a new PR's baseline with
+# `make bench BENCH_OUT=BENCH_PR8.json`; diff two baselines with
+# `go run ./cmd/benchjson -compare BENCH_PR6.json BENCH_PR7.json`.
+BENCH_OUT ?= BENCH_PR7.json
 bench:
-	go test -bench=. -benchmem -count=1 ./... | go run ./cmd/benchjson -o BENCH_PR6.json
+	go test -bench=. -benchmem -count=1 ./... | go run ./cmd/benchjson -o $(BENCH_OUT)
 
 # Regenerate the committed metrics baseline that verify.sh gates against:
 # the Table 2 grid (5 workloads x 4 protocols) at a small fixed scale. Run

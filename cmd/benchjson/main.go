@@ -88,22 +88,32 @@ func parseLine(line string) (Bench, bool) {
 // key identifies a benchmark across runs: name plus GOMAXPROCS suffix.
 func key(b Bench) string { return fmt.Sprintf("%s-%d", b.Name, b.Procs) }
 
-// compareBenches renders the per-benchmark ns/op delta table between two
-// result sets, in the new set's order, with benchmarks present in only one
-// set listed after it.
+// allocsDelta renders the allocs/op column of the comparison: the shared
+// value when unchanged, "old->new" when an allocation count moved — the
+// regression the zero-alloc gates care about.
+func allocsDelta(ob, nb Bench) string {
+	if ob.AllocsPerOp == nb.AllocsPerOp {
+		return fmt.Sprintf("%g", nb.AllocsPerOp)
+	}
+	return fmt.Sprintf("%g->%g", ob.AllocsPerOp, nb.AllocsPerOp)
+}
+
+// compareBenches renders the per-benchmark ns/op (and allocs/op) delta
+// table between two result sets, in the new set's order, with benchmarks
+// present in only one set listed after it.
 func compareBenches(w io.Writer, oldB, newB []Bench) {
 	oldBy := make(map[string]Bench, len(oldB))
 	for _, b := range oldB {
 		oldBy[key(b)] = b
 	}
 	newSeen := make(map[string]bool, len(newB))
-	fmt.Fprintf(w, "%-44s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(w, "%-44s %12s %12s %8s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs")
 	for _, nb := range newB {
 		k := key(nb)
 		newSeen[k] = true
 		ob, ok := oldBy[k]
 		if !ok {
-			fmt.Fprintf(w, "%-44s %12s %12.2f %8s\n", k, "-", nb.NsPerOp, "new")
+			fmt.Fprintf(w, "%-44s %12s %12.2f %8s %9g\n", k, "-", nb.NsPerOp, "new", nb.AllocsPerOp)
 			continue
 		}
 		delta := "-"
@@ -114,11 +124,11 @@ func compareBenches(w io.Writer, oldB, newB []Bench) {
 				delta = "~"
 			}
 		}
-		fmt.Fprintf(w, "%-44s %12.2f %12.2f %8s\n", k, ob.NsPerOp, nb.NsPerOp, delta)
+		fmt.Fprintf(w, "%-44s %12.2f %12.2f %8s %9s\n", k, ob.NsPerOp, nb.NsPerOp, delta, allocsDelta(ob, nb))
 	}
 	for _, ob := range oldB {
 		if !newSeen[key(ob)] {
-			fmt.Fprintf(w, "%-44s %12.2f %12s %8s\n", key(ob), ob.NsPerOp, "-", "gone")
+			fmt.Fprintf(w, "%-44s %12.2f %12s %8s %9s\n", key(ob), ob.NsPerOp, "-", "gone", "-")
 		}
 	}
 }

@@ -50,6 +50,68 @@ func BenchmarkEngineCallEvents(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSameTimeFanout schedules whole batches of events at a
+// single instant — the shape cohort dispatch wins big on: one clock update
+// and one bucket lookup serve all 1024 events of each cohort.
+func BenchmarkEngineSameTimeFanout(b *testing.B) {
+	eng := NewEngine()
+	arg := &benchArg{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.AfterCall(64, benchStep, arg)
+		if eng.Pending() >= 1024 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	if arg.n != b.N {
+		b.Fatalf("ran %d of %d events", arg.n, b.N)
+	}
+}
+
+// BenchmarkEngineSparseHorizon spreads events far beyond the wheel window —
+// the adversarial shape for a calendar queue: every event takes the
+// overflow heap, a window jump, and a migration before it dispatches.
+func BenchmarkEngineSparseHorizon(b *testing.B) {
+	eng := NewEngine()
+	arg := &benchArg{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.AfterCall(Time(100_000+(i%13)*7919), benchStep, arg)
+		if eng.Pending() >= 256 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	if arg.n != b.N {
+		b.Fatalf("ran %d of %d events", arg.n, b.N)
+	}
+}
+
+// TestEngineDispatchShapesNoAllocs pins both new dispatch shapes to zero
+// steady-state allocations: the arena free list and the overflow heap's
+// retained capacity must absorb any schedule once warm.
+func TestEngineDispatchShapesNoAllocs(t *testing.T) {
+	eng := NewEngine()
+	arg := &benchArg{}
+	if n := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 512; i++ {
+			eng.AfterCall(64, benchStep, arg)
+		}
+		eng.Run()
+	}); n != 0 {
+		t.Fatalf("same-time fan-out allocates %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 256; i++ {
+			eng.AfterCall(Time(100_000+(i%13)*7919), benchStep, arg)
+		}
+		eng.Run()
+	}); n != 0 {
+		t.Fatalf("sparse long-horizon schedule allocates %v times per run, want 0", n)
+	}
+}
+
 // BenchmarkResourceUseClosure drives a contended resource with a closure
 // completion per reservation.
 func BenchmarkResourceUseClosure(b *testing.B) {

@@ -107,6 +107,40 @@ func TestEngineRunWhile(t *testing.T) {
 	}
 }
 
+// TestEnginePeekTime pins the queue-agnostic peek accessor the watchdog
+// and RunUntil are built on: it reports the earliest pending timestamp —
+// wherever that event lives, wheel or overflow — without advancing the
+// clock or executing anything.
+func TestEnginePeekTime(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.PeekTime(); ok {
+		t.Fatal("PeekTime on an empty queue reported an event")
+	}
+	e.At(50, func() {})
+	e.At(7, func() {})
+	if at, ok := e.PeekTime(); !ok || at != 7 {
+		t.Fatalf("PeekTime = %d, %v; want 7, true", at, ok)
+	}
+	if e.Now() != 0 || e.Pending() != 2 {
+		t.Fatalf("peek disturbed the engine: now=%d pending=%d", e.Now(), e.Pending())
+	}
+	e.Step()
+	if at, ok := e.PeekTime(); !ok || at != 50 {
+		t.Fatalf("PeekTime after Step = %d, %v; want 50, true", at, ok)
+	}
+
+	// An event far beyond the wheel window peeks from the overflow heap,
+	// still without moving the clock.
+	far := NewEngine()
+	far.At(3*wheelSize+5, func() {})
+	if at, ok := far.PeekTime(); !ok || at != 3*wheelSize+5 {
+		t.Fatalf("far-future PeekTime = %d, %v; want %d, true", at, ok, 3*wheelSize+5)
+	}
+	if far.Now() != 0 {
+		t.Fatalf("far-future peek advanced the clock to %d", far.Now())
+	}
+}
+
 func TestEngineStepOnEmpty(t *testing.T) {
 	e := NewEngine()
 	if e.Step() {

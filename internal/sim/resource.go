@@ -5,6 +5,12 @@ package sim
 // link. A request occupies the resource for a caller-specified duration;
 // requests arriving while it is occupied queue behind it. This is the whole
 // of the paper's "contention is accurately modelled in each node".
+//
+// Resources stay queue-agnostic: completions go through the engine's
+// ordinary At/AtCall scheduling. They are also why the calendar wheel's
+// window is sized in the thousands of pclocks — under heavy contention a
+// completion lands at freeAt + dur, which stacks queue-depth × occupancy
+// into the future (see wheelBits in engine.go).
 type Resource struct {
 	eng    *Engine
 	name   string

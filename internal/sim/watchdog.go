@@ -39,16 +39,22 @@ type Watchdog struct {
 // *fault.SimFault naming the cause and the stuck agents otherwise. The
 // fault's Snapshot carries only the blocked-agent list; callers with a
 // richer Snapshotter (the machine) replace it.
+//
+// Dispatch is batched: each loop iteration checks the limits and the live
+// probe once, then drains up to one timestamp cohort. The batch budget is
+// capped at the distance to the nearest limit, so every ceiling fires at
+// exactly the event count per-event checking would produce — and a cohort
+// that never empties (a zero-delay livelock) cannot starve the watchdog.
 func (e *Engine) RunWatched(w *Watchdog) *fault.SimFault {
 	// Publish to the live probe, if one is attached: once at entry, once
-	// every progressStride events, and once at exit. The per-event cost is
-	// one nil check and one masked compare — the hot path stays
+	// every progressStride events, and once at exit. The stride check costs
+	// one nil check and one masked compare per batch — the hot path stays
 	// allocation-free and branch-cheap whether or not anyone is watching.
 	if e.progress != nil {
 		e.progress.begin(e.now, e.nsteps)
 		defer func() { e.progress.finish(e.now, e.nsteps) }()
 	}
-	for len(e.heap) > 0 {
+	for e.pending > 0 {
 		if e.progress != nil && e.nsteps&(progressStride-1) == 0 {
 			e.progress.update(e.now, e.nsteps)
 		}
@@ -60,11 +66,26 @@ func (e *Engine) RunWatched(w *Watchdog) *fault.SimFault {
 			return e.watchdogFault(w, fault.KindLivelock,
 				fmt.Sprintf("suspected livelock: %d events executed with no processor progress", e.nsteps-e.progressAt))
 		}
-		if w.Deadline > 0 && e.heap[0].at > w.Deadline {
-			return e.watchdogFault(w, fault.KindDeadline,
-				fmt.Sprintf("simulated-time ceiling %d reached (next event at t=%d)", w.Deadline, e.heap[0].at))
+		if w.Deadline > 0 {
+			if next, ok := e.PeekTime(); ok && next > w.Deadline {
+				return e.watchdogFault(w, fault.KindDeadline,
+					fmt.Sprintf("simulated-time ceiling %d reached (next event at t=%d)", w.Deadline, next))
+			}
 		}
-		e.Step()
+		// Batch budget: run to the next stride boundary or limit threshold,
+		// whichever comes first.
+		budget := uint64(progressStride) - e.nsteps&(progressStride-1)
+		if w.MaxEvents > 0 {
+			if left := w.MaxEvents - e.nsteps; left < budget {
+				budget = left
+			}
+		}
+		if w.NoProgressEvents > 0 {
+			if left := w.NoProgressEvents - (e.nsteps - e.progressAt); left < budget {
+				budget = left
+			}
+		}
+		e.runCohort(budget)
 	}
 	if w.Quiesced != nil && !w.Quiesced() {
 		return e.watchdogFault(w, fault.KindDeadlock,

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -124,8 +125,31 @@ func TestWatchdogDeadline(t *testing.T) {
 	if ran {
 		t.Fatal("event beyond the deadline executed")
 	}
-	if !strings.Contains(f.Message, "500") || !strings.Contains(f.Message, "1000") {
-		t.Errorf("deadline fault should report ceiling and next event time: %q", f.Message)
+	// The message is pinned exactly: it must come from the PeekTime
+	// accessor, naming both the ceiling and the next event's timestamp.
+	if want := "simulated-time ceiling 500 reached (next event at t=1000)"; f.Message != want {
+		t.Errorf("deadline fault message %q, want %q", f.Message, want)
+	}
+}
+
+// TestWatchdogDeadlinePeeksOverflow puts the next event far beyond the
+// calendar wheel's window: the deadline check must peek it from the
+// overflow heap without executing or migrating anything visible.
+func TestWatchdogDeadlinePeeksOverflow(t *testing.T) {
+	e := NewEngine()
+	e.After(10, func() {})
+	next := Time(2*wheelSize + 77)
+	e.After(next, func() { t.Error("event beyond the deadline executed") })
+	f := e.RunWatched(&Watchdog{Deadline: 500})
+	if f == nil || f.Kind != fault.KindDeadline {
+		t.Fatalf("fault = %v, want kind %q", f, fault.KindDeadline)
+	}
+	if want := "simulated-time ceiling 500 reached (next event at t=" +
+		strconv.FormatInt(int64(next), 10) + ")"; f.Message != want {
+		t.Errorf("deadline fault message %q, want %q", f.Message, want)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d after deadline fault, want 1", e.Pending())
 	}
 }
 

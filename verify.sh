@@ -13,6 +13,18 @@ go vet ./...
 go test ./...
 go test -race -short ccsim/internal/sim ccsim/internal/telemetry ccsim/internal/fault ccsim/internal/ops ccsim/internal/check ccsim/internal/litmus ccsim/exp
 
+# Queue-focused race pass, named directly in CI logs: TestEngine* plus the
+# differential event-order tests cover every calendar-queue path (wheel
+# scheduling, overflow migration, cohort dispatch, watchdog batching).
+go test -race -count=1 -run 'TestEngine|TestEventOrder' ccsim/internal/sim
+
+# Advisory engine-speed trend: print the ns/op delta table between the two
+# most recent archived baselines. Informational only — benchmark noise must
+# never fail the gate.
+if [ -f BENCH_PR6.json ] && [ -f BENCH_PR7.json ]; then
+    go run ./cmd/benchjson -compare BENCH_PR6.json BENCH_PR7.json || true
+fi
+
 # Watchdog smoke: a generous event ceiling must not disturb a clean run,
 # and a far-too-tight one must abort with a structured fault (non-zero
 # exit) instead of hanging or crashing.
