@@ -129,6 +129,13 @@ type Config struct {
 	// overhead.
 	Progress *Progress
 
+	// Cancel, when non-nil, is a cooperative shutdown flag: firing it from
+	// any goroutine (a signal handler, an interrupted sweep) aborts the run
+	// at the next event batch with a *SimFault of kind FaultCanceled
+	// instead of killing the process mid-state. One flag may be shared
+	// across concurrent runs. Leave nil for zero overhead.
+	Cancel *Cancel
+
 	// MaxEvents aborts the run with a *SimFault once this many simulation
 	// events have executed (0 = no limit) — the watchdog's guard against
 	// runaway protocol activity.
@@ -188,6 +195,11 @@ type Checker = check.Oracle
 // NewChecker returns a live coherence checker for one run.
 func NewChecker() *Checker { return check.New() }
 
+// Cancel is the cooperative shutdown flag attached via Config.Cancel; the
+// zero value is ready to use. Fire it with Cancel.Cancel() from any
+// goroutine.
+type Cancel = sim.Cancel
+
 // SelfProfiler is the engine self-profiler attached via Config.SelfProfile;
 // create one with NewSelfProfiler. See internal/sim for the sampling model.
 type SelfProfiler = sim.SelfProfiler
@@ -246,6 +258,7 @@ func (c Config) machineConfig() machine.Config {
 		NoProgressEvents: c.NoProgressEvents,
 		FlightRecorder:   c.FlightRecorder,
 		Progress:         c.Progress,
+		Cancel:           c.Cancel,
 		Check:            c.Check,
 		Sharing:          c.Sharing,
 		SelfProf:         c.SelfProfile,

@@ -34,7 +34,9 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"ccsim"
 	"ccsim/internal/prof"
@@ -221,6 +223,22 @@ func run() int {
 		return 0
 	}
 
+	// Graceful shutdown: the first SIGINT/SIGTERM fires the cooperative
+	// cancel flag and the watchdog aborts the run cleanly at its next event
+	// batch; a second signal exits immediately.
+	cancel := &ccsim.Cancel{}
+	cfg.Cancel = cancel
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		sig := <-sigc
+		logger.Warn("shutdown requested: cancelling the run (signal again to exit now)", "signal", sig.String())
+		cancel.Cancel()
+		<-sigc
+		os.Exit(130)
+	}()
+
 	var r *ccsim.Result
 	if *in != "" {
 		f, ferr := os.Open(*in)
@@ -245,6 +263,17 @@ func run() int {
 		// its identity fields; in text mode the full diagnostic dump —
 		// snapshot, blocked agents, flight-recorder tail — follows it.
 		if f, ok := ccsim.AsFault(err); ok {
+			if f.Kind == ccsim.FaultCanceled {
+				// Not a protocol bug: the user asked the run to stop. One
+				// record, no diagnostic dump, the conventional 128+SIGINT exit.
+				logger.Warn("run cancelled before completion",
+					"workload", cfg.Workload,
+					"protocol", cfg.ProtocolName(),
+					"sim_time", f.Time,
+					"events", f.Steps,
+				)
+				return 130
+			}
 			logger.Error("simulation fault",
 				"workload", cfg.Workload,
 				"protocol", cfg.ProtocolName(),

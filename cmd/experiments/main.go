@@ -25,6 +25,10 @@
 //	experiments -inject-fault mp3d/P+CW  # crash one run, prove containment
 //	experiments -sharing ...        # sharing-pattern analytics per run, sweep aggregate at exit
 //	experiments -selfprofile sp.json  # engine self-profile aggregated across the sweep
+//	experiments -cache-dir cache/   # durable result store: crash, re-run, resume
+//	experiments -resume=false ...   # refresh the store, ignoring existing entries
+//	experiments -retries 2          # re-run transiently-faulted runs up to 2 extra times
+//	experiments -retry-backoff 5s   # sleep before the first retry, doubling per attempt
 //
 // All experiments of one invocation share a scheduler: a configuration
 // named by several experiments (every figure's BASIC baseline, Table 2's
@@ -40,22 +44,34 @@
 // watchdog renders as a FAULT cell in its tables while every other cell
 // prints normally; the fault diagnostics go to stderr and the exit status
 // is non-zero.
+//
+// Sweeps are also crash-safe and interruptible: -cache-dir persists every
+// completed run's Result to an atomic, checksummed on-disk store, so a
+// sweep killed at any instant resumes by re-running the same command —
+// completed runs load from disk, only missing ones simulate, stdout stays
+// byte-identical. SIGINT/SIGTERM drain gracefully (queued runs abandon,
+// in-flight runs abort cleanly, finished results are kept) and exit 130
+// with a resume hint; a second signal exits immediately.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"ccsim"
 	"ccsim/exp"
 	"ccsim/internal/ops"
 	"ccsim/internal/prof"
+	"ccsim/internal/store"
 )
 
 func main() { os.Exit(run()) }
@@ -92,6 +108,10 @@ func run() int {
 	deadline := flag.Int64("deadline", 0, "abort any single run past this simulated time in pclocks (0 = unlimited)")
 	sharing := flag.Bool("sharing", false, "attach the sharing-pattern analyzer to every run; the sweep-wide aggregate prints to stderr at the end and serves live at /sharing (disables run dedup)")
 	selfprofile := flag.String("selfprofile", "", "attach one engine self-profiler across every run and write benchjson-compatible JSON to this file (disables run dedup)")
+	cacheDir := flag.String("cache-dir", "", "persist every completed run's result into this durable store; an interrupted sweep resumes by re-running with the same directory")
+	resume := flag.Bool("resume", true, "with -cache-dir, serve runs from existing store entries; -resume=false refreshes every entry")
+	retries := flag.Int("retries", 0, "re-run a transiently-faulted run (watchdog aborts, not panics) up to this many extra times")
+	retryBackoff := flag.Duration("retry-backoff", 0, "sleep this long before the first retry, doubling each attempt")
 	flag.Parse()
 
 	logger := newLogger(*logJSON, *quiet)
@@ -104,6 +124,36 @@ func run() int {
 	defer stop()
 
 	sched := exp.NewScheduler(*jobs, *metrics)
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			logger.Error("result store failed to open", "dir", *cacheDir, "err", err)
+			return 1
+		}
+		sched.UseStore(st, *resume)
+		logger.Info("result store open", "dir", st.Root(), "resume", *resume)
+	}
+	if *retries > 0 {
+		sched.SetRetryPolicy(exp.RetryPolicy{MaxAttempts: *retries + 1, Backoff: *retryBackoff})
+	}
+	// Graceful shutdown: the first SIGINT/SIGTERM drains the sweep (queued
+	// runs abandon, in-flight runs abort at their next event batch, results
+	// already completed — and their store entries — are kept); a second
+	// signal exits immediately.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		logger.Warn("shutdown requested: draining the sweep (signal again to exit now)", "signal", sig.String())
+		sched.Interrupt()
+		if _, ok := <-sigc; ok {
+			os.Exit(130)
+		}
+	}()
 	if *listen != "" {
 		srv, err := ops.Serve(*listen, sched)
 		if err != nil {
@@ -144,6 +194,16 @@ func run() int {
 					code = 1
 				}
 			}
+		}
+		if sched.Interrupted() {
+			hint := "re-run with -cache-dir DIR to make interrupted sweeps resumable"
+			if *cacheDir != "" {
+				hint = "re-run the same command to resume; completed runs load from " + *cacheDir
+			}
+			st := sched.Stats()
+			logger.Warn("sweep interrupted before completion",
+				"completed", st.Completed, "abandoned", st.Interrupted, "resume", hint)
+			code = 130
 		}
 		return code
 	}
@@ -306,6 +366,32 @@ func reportFaults(logger *slog.Logger, jsonMode bool, sched *exp.Scheduler) bool
 	if len(failed) == 0 {
 		return false
 	}
+	// Graceful-shutdown casualties are expected, not protocol bugs: condense
+	// abandoned (never-started) and cancelled (in-flight, aborted cleanly)
+	// runs into one summary line each instead of per-run dump spam.
+	var abandoned, cancelled int
+	kept := failed[:0]
+	for _, f := range failed {
+		if errors.Is(f.Err, exp.ErrInterrupted) {
+			abandoned++
+			continue
+		}
+		if sf, ok := ccsim.AsFault(f.Err); ok && sf.Kind == ccsim.FaultCanceled {
+			cancelled++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	if abandoned > 0 {
+		logger.Warn("runs abandoned by shutdown before starting", "count", abandoned)
+	}
+	if cancelled > 0 {
+		logger.Warn("in-flight runs cancelled by shutdown", "count", cancelled)
+	}
+	if len(kept) == 0 {
+		return true
+	}
+	failed = kept
 	sort.Slice(failed, func(i, j int) bool {
 		a, b := failed[i].Cfg, failed[j].Cfg
 		if a.Workload != b.Workload {

@@ -21,10 +21,14 @@
 // present only in the candidate directory are reported but do not fail —
 // a grown sweep is not a regression. `make golden` regenerates the
 // baseline after an intentional change.
+//
+// Exit codes: 0 pass, 1 gate failure, 2 bad invocation or unreadable
+// input, 3 missing or empty baseline directory (run `make golden`).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -56,12 +60,19 @@ func run(args []string) int {
 	}
 	golden, err := loadDir(fs.Arg(0))
 	if err != nil {
+		// An absent baseline is a setup problem, not a regression: one clear
+		// line naming the fix, and exit 3 so callers can tell "no baseline"
+		// (3) apart from "bad invocation" (2) and "gate failed" (1).
+		if errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "metricsdiff: baseline directory %s does not exist; run `make golden` to create it\n", fs.Arg(0))
+			return 3
+		}
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
 	if len(golden) == 0 {
-		fmt.Fprintf(os.Stderr, "metricsdiff: no .json files in baseline %s\n", fs.Arg(0))
-		return 2
+		fmt.Fprintf(os.Stderr, "metricsdiff: baseline directory %s has no .json files; run `make golden` to populate it\n", fs.Arg(0))
+		return 3
 	}
 	candidate, err := loadDir(fs.Arg(1))
 	if err != nil {

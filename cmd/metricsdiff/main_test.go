@@ -1,9 +1,11 @@
 package main
 
 import (
+	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -177,12 +179,68 @@ func TestUsageErrors(t *testing.T) {
 	if code := run([]string{"-tol", "-1", g, g}); code != 2 {
 		t.Fatalf("negative -tol: exit %d, want 2", code)
 	}
-	empty := t.TempDir()
-	if code := run([]string{empty, g}); code != 2 {
-		t.Fatalf("empty baseline: exit %d, want 2", code)
+}
+
+// captureStderr runs fn with os.Stderr redirected to a pipe and returns
+// what it wrote.
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
 	}
-	if code := run([]string{filepath.Join(g, "absent"), g}); code != 2 {
-		t.Fatalf("missing baseline dir: exit %d, want 2", code)
+	orig := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = orig }()
+	fn()
+	w.Close()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestMissingBaselineDistinctExit pins the "no baseline" contract: exit 3
+// (distinct from usage errors and gate failures) and exactly one stderr
+// line telling the user to run `make golden`.
+func TestMissingBaselineDistinctExit(t *testing.T) {
+	g, _ := twoDirs(t)
+	var code int
+	out := captureStderr(t, func() { code = run([]string{filepath.Join(g, "absent"), g}) })
+	if code != 3 {
+		t.Fatalf("missing baseline dir: exit %d, want 3", code)
+	}
+	if n := strings.Count(out, "\n"); n != 1 {
+		t.Fatalf("missing baseline dir: %d stderr lines, want exactly 1:\n%s", n, out)
+	}
+	if !strings.Contains(out, "does not exist") || !strings.Contains(out, "make golden") {
+		t.Fatalf("missing baseline message %q must name the problem and the fix", out)
+	}
+}
+
+// TestEmptyBaselineDistinctExit: a baseline directory with no .json files
+// gets the same treatment as an absent one.
+func TestEmptyBaselineDistinctExit(t *testing.T) {
+	g, _ := twoDirs(t)
+	empty := t.TempDir()
+	// A non-JSON file must not count as a baseline entry.
+	writeJSON(t, empty, "README.txt", "not a result")
+	var code int
+	out := captureStderr(t, func() { code = run([]string{empty, g}) })
+	if code != 3 {
+		t.Fatalf("empty baseline: exit %d, want 3", code)
+	}
+	if n := strings.Count(out, "\n"); n != 1 {
+		t.Fatalf("empty baseline: %d stderr lines, want exactly 1:\n%s", n, out)
+	}
+	if !strings.Contains(out, "no .json files") || !strings.Contains(out, "make golden") {
+		t.Fatalf("empty baseline message %q must name the problem and the fix", out)
+	}
+	// An empty CANDIDATE is not a baseline problem: every golden file is
+	// missing, which is a gate failure (exit 1), not exit 3.
+	if code := run([]string{g, t.TempDir()}); code != 1 {
+		t.Fatalf("empty candidate: exit %d, want 1", code)
 	}
 }
 

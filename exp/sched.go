@@ -1,14 +1,23 @@
 package exp
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"ccsim"
+	"ccsim/internal/store"
 )
+
+// ErrInterrupted marks a run abandoned before execution because the sweep
+// was interrupted (Scheduler.Interrupt): no worker ever picked it up. A
+// resumed sweep re-submits and runs it normally.
+var ErrInterrupted = errors.New("sweep interrupted before this run started")
 
 // runSim executes one simulation. A package variable so tests can
 // substitute a run that panics or fails without needing a real protocol
@@ -34,16 +43,35 @@ type Scheduler struct {
 	// slots bounds the number of simulations running at once.
 	slots chan struct{}
 
-	mu        sync.Mutex
-	runs      map[string]*Pending
-	unique    uint64
-	failed    []FailedRun
-	submitted uint64
-	dedupHits uint64
-	queued    int
-	completed uint64
-	nextID    uint64
-	live      map[uint64]LiveRun
+	// resStore, when non-nil, is the durable read-through/write-behind
+	// result cache (UseStore): completed cacheable runs persist there and
+	// later invocations resume by skipping its hits. storeRead gates the
+	// read side (`-resume=false` refreshes entries without reading them).
+	resStore  *store.Store
+	storeRead bool
+
+	// retry bounds re-execution of transiently-faulted runs (SetRetryPolicy).
+	retry RetryPolicy
+
+	// stop closes on Interrupt: queued runs abandon instead of starting,
+	// and cancel — attached to every executing run — aborts in-flight
+	// simulations cleanly at their next event batch.
+	stop     chan struct{}
+	stopOnce sync.Once
+	cancel   *ccsim.Cancel
+
+	mu          sync.Mutex
+	runs        map[string]*Pending
+	unique      uint64
+	failed      []FailedRun
+	submitted   uint64
+	dedupHits   uint64
+	queued      int
+	completed   uint64
+	retries     uint64
+	interrupted uint64
+	nextID      uint64
+	live        map[uint64]LiveRun
 
 	// droppedSpans accumulates Result.DroppedSpans over completed runs so
 	// sweeps can alert on telemetry overflow from /metrics.
@@ -69,6 +97,29 @@ type SchedStats struct {
 	// means telemetry span buffers overflowed somewhere in the sweep and
 	// exported timelines undercount transactions.
 	DroppedSpans uint64
+
+	// Retries counts re-executions of transiently-faulted runs under the
+	// retry policy (each retry is one increment; the final outcome lands in
+	// Completed or Failed as usual).
+	Retries uint64
+
+	// Interrupted counts runs abandoned before execution because the sweep
+	// was interrupted; they sit in the Failed ledger with ErrInterrupted.
+	Interrupted uint64
+
+	// Store snapshots the durable result cache's counters, nil when the
+	// scheduler runs without one (no -cache-dir).
+	Store *StoreStats
+}
+
+// StoreStats is the durable result store's state as the ops plane exports
+// it (/status, ccsim_store_* on /metrics).
+type StoreStats struct {
+	Dir         string
+	Hits        uint64 // runs served from disk without simulating
+	Misses      uint64 // lookups that fell through to a real run
+	Writes      uint64 // results persisted
+	Quarantined uint64 // corrupt/truncated entries moved aside and re-run
 }
 
 // LiveRun describes one currently-executing simulation. Progress is the
@@ -112,14 +163,82 @@ func NewScheduler(jobs int, metricsDir string) *Scheduler {
 		slots:      make(chan struct{}, jobs),
 		runs:       make(map[string]*Pending),
 		live:       make(map[uint64]LiveRun),
+		stop:       make(chan struct{}),
+		cancel:     &ccsim.Cancel{},
 	}
+}
+
+// RetryPolicy bounds re-execution of transiently-faulted runs: a run whose
+// error is a watchdog SimFault (max-events, deadline, deadlock, livelock —
+// the kinds that can be load- or environment-dependent) is retried up to
+// MaxAttempts total executions, sleeping Backoff before the first retry
+// and doubling it each time. Terminal faults — contained panics, checker
+// invariant violations, cancellations — never retry; they land in the
+// Failed ledger immediately.
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts per run; <= 1 disables retry
+	Backoff     time.Duration // sleep before the first retry, doubled per attempt
+}
+
+// SetRetryPolicy installs the scheduler's retry policy. Call before
+// submitting; the zero policy (the default) runs everything exactly once.
+func (s *Scheduler) SetRetryPolicy(rp RetryPolicy) { s.retry = rp }
+
+// UseStore attaches a durable result store: every completed cacheable run
+// persists its Result there (write-behind), and — when readBack is true —
+// submissions whose key already has a valid entry are served from disk
+// without simulating (read-through), which is how an interrupted sweep
+// resumes. readBack=false refreshes every entry while ignoring existing
+// ones. Call before submitting.
+func (s *Scheduler) UseStore(st *store.Store, readBack bool) {
+	s.resStore = st
+	s.storeRead = readBack
+}
+
+// Interrupt begins graceful shutdown: runs still waiting for a worker slot
+// abandon with ErrInterrupted instead of starting, and every in-flight
+// simulation is cancelled cooperatively (it aborts at its next event batch
+// with a canceled SimFault). Results completed before the interrupt —
+// including their durable-store entries — are untouched, so a re-run
+// against the same store resumes where this sweep stopped. Idempotent and
+// safe from any goroutine (it is meant for signal handlers).
+func (s *Scheduler) Interrupt() {
+	s.stopOnce.Do(func() {
+		s.cancel.Cancel()
+		close(s.stop)
+	})
+}
+
+// Interrupted reports whether Interrupt has been called.
+func (s *Scheduler) Interrupted() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// Retryable reports whether err is a transient fault under the retry
+// policy: a watchdog SimFault (event ceiling, deadline, deadlock,
+// livelock). Panics, invariant violations, cancellations and
+// non-simulation errors are terminal.
+func Retryable(err error) bool {
+	f, ok := ccsim.AsFault(err)
+	if !ok {
+		return false
+	}
+	switch f.Kind {
+	case ccsim.FaultMaxEvents, ccsim.FaultDeadline, ccsim.FaultDeadlock, ccsim.FaultLivelock:
+		return true
+	}
+	return false
 }
 
 // Stats snapshots the scheduler's counters.
 func (s *Scheduler) Stats() SchedStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return SchedStats{
+	st := SchedStats{
 		Submitted:    s.submitted,
 		Unique:       s.unique,
 		DedupHits:    s.dedupHits,
@@ -128,7 +247,21 @@ func (s *Scheduler) Stats() SchedStats {
 		Completed:    s.completed,
 		Failed:       uint64(len(s.failed)),
 		DroppedSpans: s.droppedSpans,
+		Retries:      s.retries,
+		Interrupted:  s.interrupted,
 	}
+	s.mu.Unlock()
+	if s.resStore != nil {
+		ss := s.resStore.Stats()
+		st.Store = &StoreStats{
+			Dir:         s.resStore.Root(),
+			Hits:        ss.Hits,
+			Misses:      ss.Misses,
+			Writes:      ss.Writes,
+			Quarantined: ss.Quarantined,
+		}
+	}
+	return st
 }
 
 // LiveRuns snapshots the registry of currently-executing runs, oldest
@@ -179,7 +312,7 @@ func (s *Scheduler) Submit(cfg ccsim.Config) *Pending {
 		s.submitted++
 		s.queued++
 		s.mu.Unlock()
-		go s.exec(p, cfg)
+		go s.exec(p, cfg, key, false)
 		return p
 	}
 	s.mu.Lock()
@@ -193,7 +326,7 @@ func (s *Scheduler) Submit(cfg ccsim.Config) *Pending {
 	s.unique++
 	s.queued++
 	s.mu.Unlock()
-	go s.exec(p, cfg)
+	go s.exec(p, cfg, key, true)
 	return p
 }
 
@@ -206,9 +339,50 @@ func (s *Scheduler) Failed() []FailedRun {
 	return append([]FailedRun(nil), s.failed...)
 }
 
-func (s *Scheduler) exec(p *Pending, cfg ccsim.Config) {
-	s.slots <- struct{}{}
+func (s *Scheduler) exec(p *Pending, cfg ccsim.Config, key string, cacheable bool) {
+	select {
+	case s.slots <- struct{}{}:
+	case <-s.stop:
+		// Interrupted while queued: never ran, and under graceful shutdown
+		// never will. The error routes through the Failed ledger so
+		// cmd/experiments can count abandoned runs and print the resume
+		// hint; a resumed sweep re-runs them from scratch (or from the
+		// store, for the ones that did complete).
+		p.err = ErrInterrupted
+		s.mu.Lock()
+		s.queued--
+		s.interrupted++
+		s.failed = append(s.failed, FailedRun{Cfg: cfg, Err: p.err})
+		s.mu.Unlock()
+		close(p.done)
+		return
+	}
 	defer func() { <-s.slots }()
+	// Read-through: a valid store entry for this exact key — same schema,
+	// same canonical configuration — serves the run without simulating.
+	// That is the whole resume path: an interrupted sweep's completed runs
+	// hit here, only the missing ones execute. Metrics files are still
+	// written so a resumed `-metrics` sweep produces the full directory.
+	if s.resStore != nil && s.storeRead && cacheable {
+		if res, ok := s.storeGet(key); ok {
+			p.res = res
+			if s.metricsDir != "" {
+				if werr := writeMetrics(s.metricsDir, cfg, res); werr != nil {
+					p.err = fmt.Errorf("metrics: %w", werr)
+				}
+			}
+			s.mu.Lock()
+			s.queued--
+			if p.err != nil {
+				s.failed = append(s.failed, FailedRun{Cfg: cfg, Err: p.err})
+			} else {
+				s.completed++
+			}
+			s.mu.Unlock()
+			close(p.done)
+			return
+		}
+	}
 	// Register in the live table once a worker slot is held: the run is
 	// about to execute, so its probe starts advancing. A caller-supplied
 	// probe is reused (the submitter is watching); otherwise the scheduler
@@ -217,6 +391,12 @@ func (s *Scheduler) exec(p *Pending, cfg ccsim.Config) {
 	if prog == nil {
 		prog = &ccsim.Progress{Label: cfg.Workload + "/" + cfg.ProtocolName()}
 		cfg.Progress = prog
+	}
+	if cfg.Cancel == nil {
+		// The scheduler's shared flag: Interrupt stops this run at its next
+		// event batch. Attached after fingerprinting, like the probe, so it
+		// never affects cacheability.
+		cfg.Cancel = s.cancel
 	}
 	if cfg.Check != nil {
 		// A checker holds per-run shadow state; sweeps copy one base config
@@ -258,7 +438,18 @@ func (s *Scheduler) exec(p *Pending, cfg ccsim.Config) {
 		}
 		s.mu.Unlock()
 	}()
-	p.res, p.err = runSim(cfg)
+	p.res, p.err = s.runWithRetry(cfg)
+	if p.err == nil && s.resStore != nil && cacheable {
+		// Write-behind: persist before the metrics write so a crash between
+		// the two still resumes (the store is the source of truth; metrics
+		// files regenerate from it on the resumed run).
+		if serr := s.storePut(key, p.res); serr != nil {
+			// The simulation itself succeeded: keep the Result for
+			// in-process waiters and surface the persistence failure as this
+			// run's error, same contract as a metrics-write failure.
+			p.err = fmt.Errorf("store: %w", serr)
+		}
+	}
 	if p.err == nil && s.metricsDir != "" {
 		if werr := writeMetrics(s.metricsDir, cfg, p.res); werr != nil {
 			// The simulation itself succeeded: keep the Result for
@@ -267,6 +458,60 @@ func (s *Scheduler) exec(p *Pending, cfg ccsim.Config) {
 			p.err = fmt.Errorf("metrics: %w", werr)
 		}
 	}
+}
+
+// runWithRetry executes one simulation under the retry policy: transient
+// watchdog faults re-run with doubling backoff up to the attempt cap;
+// terminal faults, success, or an interrupted sweep return immediately.
+func (s *Scheduler) runWithRetry(cfg ccsim.Config) (*ccsim.Result, error) {
+	attempts := s.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := s.retry.Backoff
+	for attempt := 1; ; attempt++ {
+		res, err := runSim(cfg)
+		if err == nil || attempt >= attempts || !Retryable(err) || s.Interrupted() {
+			return res, err
+		}
+		s.mu.Lock()
+		s.retries++
+		s.mu.Unlock()
+		if backoff > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-s.stop:
+				return res, err
+			}
+			backoff *= 2
+		}
+	}
+}
+
+// storeGet resolves key through the durable store: a valid entry decodes
+// into the Result a fresh run would have produced. An entry whose bytes
+// verify but whose payload no longer deserializes is dropped (quarantined)
+// and treated as a miss — belt and braces under the schema tag.
+func (s *Scheduler) storeGet(key string) (*ccsim.Result, bool) {
+	b, ok := s.resStore.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var r ccsim.Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		s.resStore.Drop(key)
+		return nil, false
+	}
+	return &r, true
+}
+
+// storePut persists one completed run's Result under its cache key.
+func (s *Scheduler) storePut(key string, r *ccsim.Result) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	return s.resStore.Put(key, b)
 }
 
 // Wait blocks until the run completes and returns its result. The Result
@@ -288,12 +533,18 @@ func (p *Pending) Cell() *ccsim.Result {
 
 // Fingerprint canonicalizes cfg into the scheduler's cache key. The second
 // return is false when the configuration cannot be cached (it carries a
-// trace, telemetry, progress, live-checker, sharing-analytics or
+// trace, telemetry, progress, cancel, live-checker, sharing-analytics or
 // self-profiler side channel, so running it has observable effects beyond
 // the Result).
+//
+// The key is prefixed with ResultSchemaVersion(), so durable-store entries
+// written by a build with a different Result JSON shape land in different
+// slots and read as misses — stale on-disk results from older builds can
+// never deserialize into the wrong struct.
 func Fingerprint(cfg ccsim.Config) (string, bool) {
 	if cfg.TraceWriter != nil || cfg.Telemetry != nil || cfg.Progress != nil ||
-		cfg.Check != nil || cfg.Sharing != nil || cfg.SelfProfile != nil {
+		cfg.Check != nil || cfg.Sharing != nil || cfg.SelfProfile != nil ||
+		cfg.Cancel != nil {
 		return "", false
 	}
 	scale := cfg.Scale
@@ -301,7 +552,8 @@ func Fingerprint(cfg ccsim.Config) (string, bool) {
 		scale = 1.0 // Run applies the same default
 	}
 	e := cfg.Extensions
-	return fmt.Sprintf("%s|x%g|p%d|P%t|M%t|CW%t|SC%t|net%d|link%d|slc%d|ways%d|flwb%d|slwb%d|pfk%d|cwt%d|wcb%d|nack%t|dir%d|vd%t|me%d|dl%d|np%d|inj%s",
+	return fmt.Sprintf("v%s|%s|x%g|p%d|P%t|M%t|CW%t|SC%t|net%d|link%d|slc%d|ways%d|flwb%d|slwb%d|pfk%d|cwt%d|wcb%d|nack%t|dir%d|vd%t|me%d|dl%d|np%d|inj%s",
+		ResultSchemaVersion(),
 		cfg.Workload, scale, cfg.Procs, e.P, e.M, e.CW, cfg.SC,
 		cfg.Net, cfg.LinkBits, cfg.SLCBlocks, cfg.SLCWays,
 		cfg.FLWBEntries, cfg.SLWBEntries,

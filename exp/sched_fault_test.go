@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -112,5 +114,74 @@ func TestSchedulerMetricsFailureKeepsResult(t *testing.T) {
 	}
 	if len(s.Failed()) != 1 {
 		t.Fatalf("metrics failure missing from the fault ledger: %+v", s.Failed())
+	}
+}
+
+// TestFailedLedgerConcurrentMixedFaults hammers the ledger from many
+// concurrent workers with every failure shape at once — raw worker panics,
+// contained SimFaults of several kinds, plain errors — interleaved with
+// clean runs, and checks nothing is lost, double-counted or misfiled.
+func TestFailedLedgerConcurrentMixedFaults(t *testing.T) {
+	const n = 48 // 12 of each shape
+	withRunSim(t, func(cfg ccsim.Config) (*ccsim.Result, error) {
+		switch cfg.MaxEvents % 4 {
+		case 0:
+			panic(fmt.Sprintf("raw crash %d", cfg.MaxEvents))
+		case 1:
+			return nil, &ccsim.SimFault{Kind: ccsim.FaultDeadlock, Message: "stuck"}
+		case 2:
+			return nil, errors.New("plain failure")
+		default:
+			return &ccsim.Result{Workload: cfg.Workload, ExecTime: 1}, nil
+		}
+	})
+	s := NewScheduler(8, "")
+	var pending []*Pending
+	for i := 0; i < n; i++ {
+		cfg := tiny().config("mp3d")
+		cfg.MaxEvents = uint64(1_000_000 + i)
+		pending = append(pending, s.Submit(cfg))
+	}
+	var wg sync.WaitGroup
+	for _, p := range pending {
+		wg.Add(1)
+		go func(p *Pending) { defer wg.Done(); p.Wait() }(p)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("waiters deadlocked under concurrent mixed faults")
+	}
+	var panics, faults, plain int
+	for _, f := range s.Failed() {
+		msg := f.Err.Error()
+		switch {
+		case strings.Contains(msg, "raw crash"):
+			panics++
+		case strings.Contains(msg, "stuck"):
+			faults++
+		case strings.Contains(msg, "plain failure"):
+			plain++
+		default:
+			t.Errorf("unrecognized ledger entry: %v", f.Err)
+		}
+	}
+	if panics != 12 || faults != 12 || plain != 12 {
+		t.Fatalf("ledger = %d panics / %d faults / %d plain, want 12 each", panics, faults, plain)
+	}
+	st := s.Stats()
+	if st.Failed != 36 || st.Completed != 12 {
+		t.Fatalf("stats = %+v, want 36 failed / 12 completed", st)
+	}
+	if st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("stats = %+v, want an idle scheduler", st)
+	}
+	// Every cell resolved: failed ones nil, clean ones populated.
+	for i, p := range pending {
+		if r := p.Cell(); (i%4 == 3) != (r != nil) {
+			t.Errorf("cell %d = %v", i, r)
+		}
 	}
 }

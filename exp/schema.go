@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+
+	"ccsim"
+)
+
+// ResultSchemaVersion returns a short tag derived from ccsim.Result's JSON
+// shape — every effective field name and type, recursively. The tag
+// prefixes Fingerprint's cache keys, so on-disk entries written by a build
+// with a different Result layout hash to different store slots and read as
+// misses instead of deserializing into the wrong struct. It changes
+// automatically whenever the Result schema does; no hand-maintained
+// version number to forget.
+func ResultSchemaVersion() string {
+	schemaOnce.Do(func() {
+		sum := sha256.Sum256([]byte(schemaSignature(reflect.TypeOf(ccsim.Result{}))))
+		schemaTag = hex.EncodeToString(sum[:6])
+	})
+	return schemaTag
+}
+
+var (
+	schemaOnce sync.Once
+	schemaTag  string
+)
+
+// schemaSignature renders t's JSON-visible shape canonically: struct
+// fields by effective JSON name (tag-renamed, "-" and unexported fields
+// skipped) in sorted order, containers by their element shapes, leaves by
+// kind. Cycles are cut by naming the revisited type.
+func schemaSignature(t reflect.Type) string {
+	var b strings.Builder
+	writeSignature(&b, t, map[reflect.Type]bool{})
+	return b.String()
+}
+
+func writeSignature(b *strings.Builder, t reflect.Type, seen map[reflect.Type]bool) {
+	switch t.Kind() {
+	case reflect.Pointer:
+		b.WriteByte('*')
+		writeSignature(b, t.Elem(), seen)
+	case reflect.Slice, reflect.Array:
+		b.WriteString("[]")
+		writeSignature(b, t.Elem(), seen)
+	case reflect.Map:
+		b.WriteString("map[")
+		writeSignature(b, t.Key(), seen)
+		b.WriteByte(']')
+		writeSignature(b, t.Elem(), seen)
+	case reflect.Struct:
+		if seen[t] {
+			// A recursive type: name it instead of descending forever.
+			fmt.Fprintf(b, "rec(%s)", t.String())
+			return
+		}
+		seen[t] = true
+		defer delete(seen, t)
+		type field struct {
+			name string
+			typ  reflect.Type
+		}
+		var fields []field
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			name := f.Name
+			if tag, _, _ := strings.Cut(f.Tag.Get("json"), ","); tag != "" {
+				name = tag
+			}
+			if name == "-" {
+				continue
+			}
+			fields = append(fields, field{name, f.Type})
+		}
+		sort.Slice(fields, func(i, j int) bool { return fields[i].name < fields[j].name })
+		b.WriteString("struct{")
+		for _, f := range fields {
+			b.WriteString(f.name)
+			b.WriteByte(':')
+			writeSignature(b, f.typ, seen)
+			b.WriteByte(';')
+		}
+		b.WriteByte('}')
+	default:
+		b.WriteString(t.Kind().String())
+	}
+}

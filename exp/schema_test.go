@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ccsim"
+)
+
+// TestFingerprintCarriesSchemaVersion pins satellite #1: cache keys are
+// prefixed with the Result schema tag, so on-disk entries written by a
+// build with a different Result shape can never read as hits.
+func TestFingerprintCarriesSchemaVersion(t *testing.T) {
+	key, ok := Fingerprint(ccsim.Config{Workload: "mp3d", Procs: 4})
+	if !ok {
+		t.Fatal("plain config not cacheable")
+	}
+	want := "v" + ResultSchemaVersion() + "|"
+	if !strings.HasPrefix(key, want) {
+		t.Fatalf("key %q lacks schema prefix %q", key, want)
+	}
+}
+
+func TestResultSchemaVersionStable(t *testing.T) {
+	a, b := ResultSchemaVersion(), ResultSchemaVersion()
+	if a != b {
+		t.Fatalf("version not stable: %q vs %q", a, b)
+	}
+	if len(a) != 12 {
+		t.Fatalf("version %q: want 12 hex chars", a)
+	}
+	for _, c := range a {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Fatalf("version %q is not lowercase hex", a)
+		}
+	}
+}
+
+// TestSchemaSignatureTracksShape: the signature must change when the
+// JSON-visible shape changes (field added, renamed, retyped) and must NOT
+// change for JSON-invisible differences (unexported fields, json:"-",
+// declaration order).
+func TestSchemaSignatureTracksShape(t *testing.T) {
+	type base struct {
+		A int     `json:"a"`
+		B float64 `json:"b"`
+	}
+	type added struct {
+		A int     `json:"a"`
+		B float64 `json:"b"`
+		C string  `json:"c"`
+	}
+	type renamed struct {
+		A int     `json:"a2"`
+		B float64 `json:"b"`
+	}
+	type retyped struct {
+		A string  `json:"a"`
+		B float64 `json:"b"`
+	}
+	type reordered struct {
+		B float64 `json:"b"`
+		A int     `json:"a"`
+	}
+	type invisible struct {
+		A      int     `json:"a"`
+		B      float64 `json:"b"`
+		hidden int
+		Skip   bool `json:"-"`
+	}
+	_ = invisible{hidden: 0} // silence unused-field vet
+
+	sig := func(v any) string { return schemaSignature(reflect.TypeOf(v)) }
+	b := sig(base{})
+	for name, other := range map[string]string{
+		"added field":   sig(added{}),
+		"renamed field": sig(renamed{}),
+		"retyped field": sig(retyped{}),
+	} {
+		if other == b {
+			t.Errorf("%s: signature unchanged", name)
+		}
+	}
+	if sig(reordered{}) != b {
+		t.Error("declaration order changed the signature; fields must be sorted")
+	}
+	if sig(invisible{}) != b {
+		t.Error("JSON-invisible fields changed the signature")
+	}
+}
+
+// TestSchemaSignatureContainers covers the recursive cases: pointers,
+// slices, maps and nested structs all contribute to the shape.
+func TestSchemaSignatureContainers(t *testing.T) {
+	type inner struct {
+		X int `json:"x"`
+	}
+	type withPtr struct {
+		I *inner `json:"i"`
+	}
+	type withSlice struct {
+		I []inner `json:"i"`
+	}
+	type withMap struct {
+		I map[string]inner `json:"i"`
+	}
+	sig := func(v any) string { return schemaSignature(reflect.TypeOf(v)) }
+	sigs := map[string]bool{sig(withPtr{}): true, sig(withSlice{}): true, sig(withMap{}): true}
+	if len(sigs) != 3 {
+		t.Fatalf("container kinds collided: ptr=%q slice=%q map=%q",
+			sig(withPtr{}), sig(withSlice{}), sig(withMap{}))
+	}
+}
+
+// TestSchemaSignatureRecursiveType: self-referential types terminate.
+func TestSchemaSignatureRecursiveType(t *testing.T) {
+	type node struct {
+		Next *node `json:"next"`
+		V    int   `json:"v"`
+	}
+	s := schemaSignature(reflect.TypeOf(node{}))
+	if !strings.Contains(s, "rec(") {
+		t.Fatalf("recursive type not cut: %q", s)
+	}
+}

@@ -24,6 +24,9 @@ const (
 	// shadow-state invariant failed at the protocol transition that broke
 	// it.
 	FaultInvariant = fault.KindInvariant
+	// FaultCanceled is a cooperative shutdown (Config.Cancel): the run was
+	// asked to stop and aborted cleanly at the next event batch.
+	FaultCanceled = fault.KindCanceled
 )
 
 // AsFault extracts the *SimFault from an error returned by Run (directly

@@ -38,6 +38,10 @@ const (
 	// write-cache mask consistency, or the data-value invariant) failed at
 	// the protocol transition where it was violated.
 	KindInvariant = "invariant"
+	// KindCanceled is a cooperative shutdown: the run was asked to stop
+	// (SIGINT/SIGTERM, an interrupted sweep) and aborted cleanly at the next
+	// event batch instead of being killed mid-state.
+	KindCanceled = "canceled"
 )
 
 // SimFault is a structured simulation failure. It implements error; the

@@ -69,6 +69,11 @@ type Config struct {
 	// heartbeat). The engine publishes through it lock-free.
 	Progress *sim.Progress
 
+	// Cancel, when non-nil, is the cooperative shutdown flag: firing it
+	// from any goroutine aborts the run at the next event batch with a
+	// canceled fault. May be shared across concurrent machines.
+	Cancel *sim.Cancel
+
 	// Check, when non-nil, attaches the live coherence checker: shadow
 	// state updated at every directory/SLC transition, with a structured
 	// SimFault at the first violated invariant. Forces VerifyData on (the
@@ -259,6 +264,7 @@ func (m *Machine) Run() (*Result, error) {
 			return m.doneCount == len(m.Procs) && m.Sys.Quiesced()
 		},
 		Blocked: m.blockedAgents,
+		Cancel:  m.Cfg.Cancel,
 	}
 	if f := m.Eng.RunWatched(wd); f != nil {
 		if snap := m.faultSnapshot(f.Block, f.HasBlock); snap != nil {

@@ -196,8 +196,17 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	counter("ccsim_sched_completed_total", "Runs finished without error.", sch.Completed)
 	counter("ccsim_sched_faults_total", "Runs finished with an error: contained panics, watchdog aborts, metrics-write failures.", sch.Failed)
 	counter("ccsim_dropped_spans_total", "Telemetry spans discarded by span-buffer overflow across completed runs; nonzero means timelines undercount.", sch.DroppedSpans)
+	counter("ccsim_sched_retries_total", "Re-executions of transiently-faulted runs under the retry policy.", sch.Retries)
+	counter("ccsim_sched_interrupted_total", "Runs abandoned before execution by graceful shutdown.", sch.Interrupted)
 	gauge("ccsim_sched_queued", "Runs waiting for a worker slot.", sch.Queued)
 	gauge("ccsim_sched_running", "Runs executing right now.", sch.Running)
+
+	if sch.Store != nil {
+		counter("ccsim_store_hits_total", "Runs served from the durable result store without simulating.", sch.Store.Hits)
+		counter("ccsim_store_misses_total", "Store lookups that fell through to a real simulation.", sch.Store.Misses)
+		counter("ccsim_store_writes_total", "Results persisted to the durable store.", sch.Store.Writes)
+		counter("ccsim_store_quarantined_total", "Corrupt or truncated store entries moved to the quarantine directory and re-run.", sch.Store.Quarantined)
+	}
 
 	perRun := func(name, help, typ string) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)

@@ -71,7 +71,10 @@ func testSource(t *testing.T) *fakeSource {
 		stats: exp.SchedStats{
 			Submitted: 275, Unique: 200, DedupHits: 75,
 			Queued: 10, Running: 2, Completed: 180, Failed: 8,
-			DroppedSpans: 3,
+			DroppedSpans: 3, Retries: 5, Interrupted: 4,
+			Store: &exp.StoreStats{
+				Dir: "/tmp/cache", Hits: 60, Misses: 140, Writes: 140, Quarantined: 2,
+			},
 		},
 		runs: []exp.LiveRun{
 			{ID: 1, Workload: "mp3d", Protocol: "P+CW", Progress: p},
@@ -128,6 +131,12 @@ func TestMetricsParses(t *testing.T) {
 		`ccsim_run_events_per_second{run="1"`,
 		`ccsim_run_heartbeat_age_seconds{run="2",workload="ocean",protocol="BASIC-SC"} 0`,
 		"ccsim_dropped_spans_total 3",
+		"ccsim_sched_retries_total 5",
+		"ccsim_sched_interrupted_total 4",
+		"ccsim_store_hits_total 60",
+		"ccsim_store_misses_total 140",
+		"ccsim_store_writes_total 140",
+		"ccsim_store_quarantined_total 2",
 		`ccsim_sharing_blocks{class="migratory"} 4`,
 		`ccsim_sharing_misses_total{class="migratory"} 12`,
 		`ccsim_sharing_reads_total{class="read-only"} 700`,

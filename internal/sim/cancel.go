@@ -1,0 +1,20 @@
+package sim
+
+import "sync/atomic"
+
+// Cancel is a cooperative shutdown flag for a watched run: any goroutine
+// (a signal handler, an interrupted sweep scheduler) calls Cancel, and the
+// engine aborts at the next event batch with a structured canceled fault
+// instead of being killed mid-state. The zero value is ready to use; one
+// flag may be shared across many concurrent runs to stop them all.
+type Cancel struct {
+	flag atomic.Bool
+}
+
+// Cancel requests the shutdown. Safe from any goroutine, idempotent.
+func (c *Cancel) Cancel() { c.flag.Store(true) }
+
+// Cancelled reports whether Cancel has been called. A nil receiver reads
+// as not cancelled, so the watchdog's check stays one nil test when no
+// flag is attached.
+func (c *Cancel) Cancelled() bool { return c != nil && c.flag.Load() }

@@ -32,6 +32,11 @@ type Watchdog struct {
 	// Blocked names the stuck agents for deadlock/livelock reports
 	// ("proc 3 waiting for lock 512", ...). May be nil.
 	Blocked func() []string
+
+	// Cancel, when non-nil, is polled once per batch: a fired flag aborts
+	// the run with a canceled fault — the cooperative half of graceful
+	// shutdown (the caller decides when to fire it).
+	Cancel *Cancel
 }
 
 // RunWatched executes events like Run but under the watchdog's limits. It
@@ -57,6 +62,10 @@ func (e *Engine) RunWatched(w *Watchdog) *fault.SimFault {
 	for e.pending > 0 {
 		if e.progress != nil && e.nsteps&(progressStride-1) == 0 {
 			e.progress.update(e.now, e.nsteps)
+		}
+		if w.Cancel.Cancelled() {
+			return e.watchdogFault(w, fault.KindCanceled,
+				fmt.Sprintf("run cancelled by shutdown request after %d events", e.nsteps))
 		}
 		if w.MaxEvents > 0 && e.nsteps >= w.MaxEvents {
 			return e.watchdogFault(w, fault.KindMaxEvents,

@@ -180,3 +180,55 @@ func TestWatchdogCleanRun(t *testing.T) {
 		t.Fatalf("ran %d of 20 events (quiesced %v)", ran, done)
 	}
 }
+
+// TestWatchdogCancelPreFired: a cancel flag fired before the run starts
+// aborts it before any event executes.
+func TestWatchdogCancelPreFired(t *testing.T) {
+	e := NewEngine()
+	e.After(0, func() { t.Error("event executed after cancellation") })
+	c := &Cancel{}
+	c.Cancel()
+	f := e.RunWatched(&Watchdog{Cancel: c})
+	if f == nil || f.Kind != fault.KindCanceled {
+		t.Fatalf("fault = %v, want kind %q", f, fault.KindCanceled)
+	}
+	if e.Steps() != 0 {
+		t.Fatalf("executed %d events after a pre-fired cancel", e.Steps())
+	}
+}
+
+// TestWatchdogCancelMidRun fires the flag from inside an event callback —
+// the shape of a signal handler interrupting an in-flight run — and checks
+// the batched poll stops the run at the next cohort boundary.
+func TestWatchdogCancelMidRun(t *testing.T) {
+	e := NewEngine()
+	c := &Cancel{}
+	ran := 0
+	var tick func()
+	tick = func() {
+		if ran++; ran == 5 {
+			c.Cancel()
+		}
+		e.After(1, tick) // self-perpetuating: only the cancel can stop it
+	}
+	e.After(0, tick)
+	f := e.RunWatched(&Watchdog{Cancel: c, MaxEvents: 1_000_000})
+	if f == nil || f.Kind != fault.KindCanceled {
+		t.Fatalf("fault = %v, want kind %q", f, fault.KindCanceled)
+	}
+	if ran < 5 || ran > 16 {
+		t.Fatalf("ran %d events; cancel at 5 should stop within one batch", ran)
+	}
+	if !strings.Contains(f.Message, "cancelled") {
+		t.Errorf("cancel fault message %q does not say cancelled", f.Message)
+	}
+}
+
+// TestCancelNilReceiver: Cancelled on a nil *Cancel (the un-attached
+// default) must be false, not a panic.
+func TestCancelNilReceiver(t *testing.T) {
+	var c *Cancel
+	if c.Cancelled() {
+		t.Fatal("nil Cancel reports cancelled")
+	}
+}

@@ -11,7 +11,7 @@ set -eux
 go build ./...
 go vet ./...
 go test ./...
-go test -race -short ccsim/internal/sim ccsim/internal/telemetry ccsim/internal/fault ccsim/internal/ops ccsim/internal/check ccsim/internal/litmus ccsim/exp
+go test -race -short ccsim/internal/sim ccsim/internal/telemetry ccsim/internal/fault ccsim/internal/ops ccsim/internal/check ccsim/internal/litmus ccsim/internal/store ccsim/exp
 
 # Queue-focused race pass, named directly in CI logs: TestEngine* plus the
 # differential event-order tests cover every calendar-queue path (wheel
@@ -86,4 +86,32 @@ if /tmp/metricsdiff-verify golden /tmp/ccsim-metrics-perturbed > /dev/null 2>&1;
     exit 1
 fi
 rm -rf /tmp/ccsim-metrics-check /tmp/ccsim-metrics-perturbed
+
+# Crash-resume smoke: a sweep with -cache-dir killed mid-flight must
+# resume by re-running the same command, producing stdout byte-identical
+# to an uninterrupted, uncached sweep; a corrupted store entry must be
+# quarantined and re-executed, never crash the resume.
+rm -rf /tmp/ccsim-store
+/tmp/experiments-verify -exp table2 -scale 0.05 -procs 4 -q > /tmp/ccsim-resume-ref.txt
+/tmp/experiments-verify -exp table2 -scale 0.05 -procs 4 -q \
+    -cache-dir /tmp/ccsim-store > /dev/null 2>&1 &
+SWEEP_PID=$!
+sleep 1
+kill -9 "$SWEEP_PID" 2> /dev/null || true
+wait "$SWEEP_PID" 2> /dev/null || true
+/tmp/experiments-verify -exp table2 -scale 0.05 -procs 4 -q \
+    -cache-dir /tmp/ccsim-store > /tmp/ccsim-resume-out.txt
+cmp /tmp/ccsim-resume-ref.txt /tmp/ccsim-resume-out.txt
+# The resume committed an entry for every unique run; truncate one (the
+# kill -9 shape) and resume again: quarantined, re-run, still identical.
+for f in /tmp/ccsim-store/*.res; do
+    truncate -s 10 "$f"
+    break
+done
+/tmp/experiments-verify -exp table2 -scale 0.05 -procs 4 -q \
+    -cache-dir /tmp/ccsim-store > /tmp/ccsim-resume-out2.txt
+cmp /tmp/ccsim-resume-ref.txt /tmp/ccsim-resume-out2.txt
+ls /tmp/ccsim-store/quarantine/* > /dev/null
+rm -rf /tmp/ccsim-store /tmp/ccsim-resume-ref.txt /tmp/ccsim-resume-out.txt \
+    /tmp/ccsim-resume-out2.txt
 rm -f /tmp/metricsdiff-verify /tmp/experiments-verify
