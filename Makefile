@@ -17,11 +17,14 @@ chaos:
 # Benchmarks, archived machine-readably: the raw go test output streams to
 # the terminal while cmd/benchjson writes the parsed results to $(BENCH_OUT)
 # for cross-PR comparison. Archive a new PR's baseline with
-# `make bench BENCH_OUT=BENCH_PR8.json`; diff two baselines with
-# `go run ./cmd/benchjson -compare BENCH_PR6.json BENCH_PR7.json`.
-BENCH_OUT ?= BENCH_PR7.json
+# `make bench BENCH_OUT=BENCH_PR10.json`; diff two baselines with
+# `go run ./cmd/benchjson -compare BENCH_PR7.json BENCH_PR9.json`, adding
+# `-fail-over 20` to turn the comparison into a hard gate.
+BENCH_OUT ?= BENCH_PR9.json
+# -p 1 serializes the per-package test binaries: benchmark-bearing packages
+# must not run concurrently or they contend for cores and inflate ns/op.
 bench:
-	go test -bench=. -benchmem -count=1 ./... | go run ./cmd/benchjson -o $(BENCH_OUT)
+	go test -p 1 -bench=. -benchmem -count=1 ./... | go run ./cmd/benchjson -o $(BENCH_OUT)
 
 # Regenerate the committed metrics baseline that verify.sh gates against:
 # the Table 2 grid (5 workloads x 4 protocols) at a small fixed scale. Run

@@ -17,9 +17,12 @@
 // the run from the terminal.
 //
 // With -compare OLD.json, a per-benchmark ns/op delta table against the old
-// baseline prints after the passthrough; with a positional NEW.json argument
-// the new results load from that file instead of stdin (no passthrough).
-// Under -compare the parsed JSON is written only when -o names a file.
+// baseline prints after the passthrough, ending in a geomean summary row
+// over the matched pairs; with a positional NEW.json argument the new
+// results load from that file instead of stdin (no passthrough). Under
+// -compare the parsed JSON is written only when -o names a file, and
+// -fail-over PCT turns the comparison into a gate: exit 1 when any matched
+// benchmark's ns/op regressed by more than PCT percent.
 package main
 
 import (
@@ -100,13 +103,18 @@ func allocsDelta(ob, nb Bench) string {
 
 // compareBenches renders the per-benchmark ns/op (and allocs/op) delta
 // table between two result sets, in the new set's order, with benchmarks
-// present in only one set listed after it.
-func compareBenches(w io.Writer, oldB, newB []Bench) {
+// present in only one set listed after it, then a geomean summary row over
+// the matched pairs. It returns the worst single-benchmark ns/op
+// regression in percent (0 when nothing matched or everything improved) —
+// the quantity -fail-over gates on.
+func compareBenches(w io.Writer, oldB, newB []Bench) (worstPct float64) {
 	oldBy := make(map[string]Bench, len(oldB))
 	for _, b := range oldB {
 		oldBy[key(b)] = b
 	}
 	newSeen := make(map[string]bool, len(newB))
+	var logSum float64
+	matched := 0
 	fmt.Fprintf(w, "%-44s %12s %12s %8s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs")
 	for _, nb := range newB {
 		k := key(nb)
@@ -123,6 +131,13 @@ func compareBenches(w io.Writer, oldB, newB []Bench) {
 			if math.Abs(pct) < 0.05 {
 				delta = "~"
 			}
+			if pct > worstPct {
+				worstPct = pct
+			}
+			if nb.NsPerOp > 0 {
+				logSum += math.Log(nb.NsPerOp / ob.NsPerOp)
+				matched++
+			}
 		}
 		fmt.Fprintf(w, "%-44s %12.2f %12.2f %8s %9s\n", k, ob.NsPerOp, nb.NsPerOp, delta, allocsDelta(ob, nb))
 	}
@@ -131,6 +146,16 @@ func compareBenches(w io.Writer, oldB, newB []Bench) {
 			fmt.Fprintf(w, "%-44s %12.2f %12s %8s %9s\n", key(ob), ob.NsPerOp, "-", "gone", "-")
 		}
 	}
+	if matched > 0 {
+		pct := 100 * (math.Exp(logSum/float64(matched)) - 1)
+		delta := fmt.Sprintf("%+.1f%%", pct)
+		if math.Abs(pct) < 0.05 {
+			delta = "~"
+		}
+		fmt.Fprintf(w, "%-44s %12s %12s %8s %9s\n",
+			fmt.Sprintf("geomean (%d matched)", matched), "-", "-", delta, "-")
+	}
+	return worstPct
 }
 
 func readBenchFile(path string) ([]Bench, error) {
@@ -150,6 +175,7 @@ func main() { os.Exit(run()) }
 func run() int {
 	out := flag.String("o", "", "write the JSON array to this file (default stdout, after the passthrough; with -compare, only when set)")
 	compare := flag.String("compare", "", "old benchjson JSON baseline: print a per-benchmark ns/op delta table against it")
+	failOver := flag.Float64("fail-over", 0, "with -compare, exit 1 when any matched benchmark's ns/op regresses by more than this percentage (0 = advisory only)")
 	flag.Parse()
 
 	var benches []Bench
@@ -183,7 +209,11 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		compareBenches(os.Stdout, oldB, benches)
+		worst := compareBenches(os.Stdout, oldB, benches)
+		if *failOver > 0 && worst > *failOver {
+			fmt.Fprintf(os.Stderr, "benchjson: worst ns/op regression %+.1f%% exceeds -fail-over %g%%\n", worst, *failOver)
+			return 1
+		}
 	}
 
 	if *compare != "" && *out == "" {

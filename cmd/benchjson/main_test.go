@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -40,7 +44,10 @@ func TestCompareBenches(t *testing.T) {
 		{Name: "BenchmarkAdded", Procs: 8, NsPerOp: 33.3},
 	}
 	var sb strings.Builder
-	compareBenches(&sb, oldB, newB)
+	worst := compareBenches(&sb, oldB, newB)
+	if worst != 0 {
+		t.Errorf("worst regression = %g, want 0 (nothing got slower)", worst)
+	}
 	out := sb.String()
 	for _, want := range []string{
 		"BenchmarkEngineCallEvents-8",
@@ -52,6 +59,8 @@ func TestCompareBenches(t *testing.T) {
 		"gone",  // BenchmarkGone vanished from the new set
 		"BenchmarkAdded-8",
 		"BenchmarkGone-8",
+		"geomean (2 matched)",
+		"-1.1%", // sqrt(148.2/151.4 * 1) - 1
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("comparison output missing %q:\n%s", want, out)
@@ -60,6 +69,78 @@ func TestCompareBenches(t *testing.T) {
 	// Rows follow new-set order; removed benchmarks list last.
 	if strings.Index(out, "BenchmarkAdded-8") > strings.Index(out, "BenchmarkGone-8") {
 		t.Errorf("removed benchmarks should list after new-set rows:\n%s", out)
+	}
+}
+
+// TestCompareWorstRegression checks the returned gate quantity is the
+// single worst ns/op slowdown, not the geomean.
+func TestCompareWorstRegression(t *testing.T) {
+	oldB := []Bench{
+		{Name: "BenchmarkA", Procs: 8, NsPerOp: 100},
+		{Name: "BenchmarkB", Procs: 8, NsPerOp: 100},
+	}
+	newB := []Bench{
+		{Name: "BenchmarkA", Procs: 8, NsPerOp: 110}, // +10%
+		{Name: "BenchmarkB", Procs: 8, NsPerOp: 50},  // -50%
+	}
+	var sb strings.Builder
+	worst := compareBenches(&sb, oldB, newB)
+	if worst < 9.9 || worst > 10.1 {
+		t.Errorf("worst regression = %g, want ~10", worst)
+	}
+	if !strings.Contains(sb.String(), "geomean (2 matched)") {
+		t.Errorf("missing geomean row:\n%s", sb.String())
+	}
+}
+
+// writeBenchJSON marshals benches to a temp file for run()-level tests.
+func writeBenchJSON(t *testing.T, name string, benches []Bench) string {
+	t.Helper()
+	data, err := json.Marshal(benches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runCLI invokes run() in-process with the given arguments, suppressing
+// stdout, and returns the exit code.
+func runCLI(t *testing.T, args ...string) int {
+	t.Helper()
+	flag.CommandLine = flag.NewFlagSet(args[0], flag.ExitOnError)
+	oldArgs, oldStdout := os.Args, os.Stdout
+	t.Cleanup(func() { os.Args, os.Stdout = oldArgs, oldStdout })
+	os.Args = args
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	os.Stdout = devnull
+	return run()
+}
+
+// TestFailOverGate drives the CLI end to end: an over-threshold regression
+// exits 1, an under-threshold one exits 0, and 0 disables the gate.
+func TestFailOverGate(t *testing.T) {
+	oldPath := writeBenchJSON(t, "old.json", []Bench{
+		{Name: "BenchmarkA", Procs: 8, Iterations: 1, NsPerOp: 100},
+	})
+	newPath := writeBenchJSON(t, "new.json", []Bench{
+		{Name: "BenchmarkA", Procs: 8, Iterations: 1, NsPerOp: 120},
+	})
+	if code := runCLI(t, "benchjson", "-compare", oldPath, "-fail-over", "10", newPath); code != 1 {
+		t.Errorf("+20%% vs -fail-over 10: exit %d, want 1", code)
+	}
+	if code := runCLI(t, "benchjson", "-compare", oldPath, "-fail-over", "25", newPath); code != 0 {
+		t.Errorf("+20%% vs -fail-over 25: exit %d, want 0", code)
+	}
+	if code := runCLI(t, "benchjson", "-compare", oldPath, newPath); code != 0 {
+		t.Errorf("advisory compare without -fail-over: exit %d, want 0", code)
 	}
 }
 

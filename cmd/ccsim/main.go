@@ -378,5 +378,8 @@ func run() int {
 			r.UpdateRequests, r.WriteCacheHits)
 	}
 	fmt.Printf("ownership   %d ownership requests\n", r.OwnershipRequests)
+	fmt.Printf("event queue %d dispatched (%d wheel, %d migrated via overflow), %d cohorts (max %d), wheel high-water %d\n",
+		r.Queue.Dispatched, r.Queue.WheelScheduled, r.Queue.Migrations,
+		r.Queue.Cohorts, r.Queue.MaxCohort, r.Queue.WheelHighWater)
 	return 0
 }

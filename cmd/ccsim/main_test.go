@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ccsim/internal/prof"
+)
+
+// runCLI invokes run() in-process with the given arguments, capturing
+// stdout, and returns the exit code and captured output.
+func runCLI(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	flag.CommandLine = flag.NewFlagSet(args[0], flag.ExitOnError)
+	oldArgs, oldStdout := os.Args, os.Stdout
+	t.Cleanup(func() { os.Args, os.Stdout = oldArgs, oldStdout })
+	os.Args = args
+	out, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = out
+	code := run()
+	os.Stdout = oldStdout
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(body)
+}
+
+// TestProfileFlagsRoundTrip runs a tiny simulation with both profiling
+// flags and checks the CLI leaves parseable pprof files behind — the
+// user-facing contract of -cpuprofile/-memprofile.
+func TestProfileFlagsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, out := runCLI(t, "ccsim",
+		"-workload", "mp3d", "-scale", "0.02", "-procs", "2",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out, "event queue") {
+		t.Errorf("text report missing the queue-internals line:\n%s", out)
+	}
+	for _, p := range []string{cpu, mem} {
+		if err := prof.ValidateProfile(p); err != nil {
+			t.Errorf("profile invalid: %v", err)
+		}
+	}
+}

@@ -17,7 +17,8 @@
 //	experiments -scale 0.25 ...     # shrink the workloads for a quick pass
 //	experiments -jobs 8 ...         # simulate up to 8 configurations at once
 //	experiments -metrics out/ ...   # also write each run's result as JSON
-//	experiments -listen :8099       # live ops plane: /metrics + /status
+//	experiments -listen :8099       # live ops plane: /metrics, /status, /dashboard
+//	experiments -listen :8099 -pprof  # also mount Go's /debug/pprof/ endpoints
 //	experiments -log-json ...       # structured stderr logs as JSON
 //	experiments -q ...              # quiet: suppress per-experiment timing
 //	experiments -cpuprofile p.out   # write a runtime/pprof CPU profile
@@ -97,7 +98,8 @@ func run() int {
 	procs := flag.Int("procs", 16, "processor count")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max simulations to run concurrently")
 	metrics := flag.String("metrics", "", "write each run's full result as JSON into this directory")
-	listen := flag.String("listen", "", "serve the live ops plane (/metrics, /status) on this address, e.g. :8099")
+	listen := flag.String("listen", "", "serve the live ops plane (/metrics, /status, /dashboard) on this address, e.g. :8099")
+	pprofOn := flag.Bool("pprof", false, "with -listen, mount Go's live profiling endpoints under /debug/pprof/")
 	logJSON := flag.Bool("log-json", false, "emit stderr diagnostics as JSON log records")
 	quiet := flag.Bool("q", false, "quiet: suppress per-experiment timing lines (warnings and faults still log)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -124,6 +126,7 @@ func run() int {
 	defer stop()
 
 	sched := exp.NewScheduler(*jobs, *metrics)
+	sched.SetLogger(logger)
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir)
 		if err != nil {
@@ -155,13 +158,18 @@ func run() int {
 		}
 	}()
 	if *listen != "" {
-		srv, err := ops.Serve(*listen, sched)
-		if err != nil {
+		srv := ops.NewServer(sched)
+		endpoints := "/metrics /status /sharing /dashboard"
+		if *pprofOn {
+			srv.EnablePprof()
+			endpoints += " /debug/pprof/"
+		}
+		if err := srv.Start(*listen); err != nil {
 			logger.Error("ops server failed to start", "addr", *listen, "err", err)
 			return 1
 		}
 		defer srv.Close()
-		logger.Info("ops server listening", "addr", srv.Addr(), "endpoints", "/metrics /status /sharing")
+		logger.Info("ops server listening", "addr", srv.Addr(), "endpoints", endpoints)
 	}
 	o := exp.Options{
 		Scale: *scale, Procs: *procs, MetricsDir: *metrics, Sched: sched,
@@ -402,6 +410,7 @@ func reportFaults(logger *slog.Logger, jsonMode bool, sched *exp.Scheduler) bool
 	logger.Error("sweep had faulted runs", "count", len(failed))
 	for _, f := range failed {
 		attrs := []any{
+			"run_id", exp.RunID(f.Cfg),
 			"workload", f.Cfg.Workload,
 			"protocol", f.Cfg.ProtocolName(),
 		}

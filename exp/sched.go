@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"ccsim"
+	"ccsim/internal/stats"
 	"ccsim/internal/store"
 )
 
@@ -80,6 +82,55 @@ type Scheduler struct {
 	// sharing aggregates per-run analyzer totals across the sweep
 	// (Options.Sharing runs; see SharingReport).
 	sharing ccsim.SharingTotals
+
+	// clock reads wall time for lifecycle histograms; SetClock substitutes
+	// a deterministic one in tests. Never nil after NewScheduler.
+	clock func() time.Time
+
+	// phases holds the per-run lifecycle duration histograms in
+	// microseconds, indexed by phaseQueueWait..phaseMetricsWrite and
+	// guarded by mu.
+	phases [numPhases]stats.Hist
+
+	// engine aggregates completed runs' Result.Queue snapshots (simulated
+	// runs only — store hits carry another sweep's numbers); engineRuns
+	// counts contributions. Guarded by mu.
+	engine     ccsim.QueueStats
+	engineRuns uint64
+
+	// logger, when non-nil, receives retry and store-quarantine records
+	// tagged with the run's run_id (SetLogger). Nil stays silent.
+	logger *slog.Logger
+}
+
+// Lifecycle phase indexes into Scheduler.phases; phaseNames names them in
+// Stats() snapshots and Prometheus labels.
+const (
+	phaseQueueWait    = iota // Submit to worker-slot acquisition
+	phaseSimulate            // the simulation itself, including retries
+	phaseStorePut            // persisting the Result to the durable store
+	phaseMetricsWrite        // writing the per-run metrics JSON file
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	phaseQueueWait:    "queue_wait",
+	phaseSimulate:     "simulate",
+	phaseStorePut:     "store_put",
+	phaseMetricsWrite: "metrics_write",
+}
+
+// DurationStats is one phase's (or store op's) duration distribution as
+// Stats() snapshots it, in seconds — the shape the ops plane exports as
+// ccsim_sched_duration_seconds / ccsim_store_duration_seconds.
+type DurationStats struct {
+	Phase      string  `json:"phase"`
+	Count      uint64  `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P95Seconds float64 `json:"p95_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	MaxSeconds float64 `json:"max_seconds"`
 }
 
 // SchedStats is one consistent snapshot of the scheduler's counters — the
@@ -97,6 +148,17 @@ type SchedStats struct {
 	// means telemetry span buffers overflowed somewhere in the sweep and
 	// exported timelines undercount transactions.
 	DroppedSpans uint64
+
+	// Lifecycle decomposes completed runs' wall-clock into the scheduler's
+	// four phases (queue_wait, simulate, store_put, metrics_write), one
+	// entry per phase in that fixed order.
+	Lifecycle []DurationStats
+
+	// Engine aggregates the event engine's queue-internals counters over
+	// every run this sweep actually simulated (store hits excluded — their
+	// snapshots describe the sweep that produced them). Nil until the first
+	// simulated run completes.
+	Engine *ccsim.QueueStats
 
 	// Retries counts re-executions of transiently-faulted runs under the
 	// retry policy (each retry is one increment; the final outcome lands in
@@ -120,6 +182,10 @@ type StoreStats struct {
 	Misses      uint64 // lookups that fell through to a real run
 	Writes      uint64 // results persisted
 	Quarantined uint64 // corrupt/truncated entries moved aside and re-run
+
+	// Ops holds the store's per-operation latency distributions (read,
+	// validate, write), in that fixed order.
+	Ops []DurationStats
 }
 
 // LiveRun describes one currently-executing simulation. Progress is the
@@ -127,6 +193,7 @@ type StoreStats struct {
 // without disturbing the simulation.
 type LiveRun struct {
 	ID       uint64 // scheduler-assigned, ascending in start order
+	RunID    string // stable cross-cutting identifier (see RunID)
 	Workload string
 	Protocol string
 	Progress *ccsim.Progress
@@ -165,6 +232,39 @@ func NewScheduler(jobs int, metricsDir string) *Scheduler {
 		live:       make(map[uint64]LiveRun),
 		stop:       make(chan struct{}),
 		cancel:     &ccsim.Cancel{},
+		clock:      time.Now,
+	}
+}
+
+// SetClock substitutes the wall clock the lifecycle histograms read.
+// Call before submitting; tests use it for deterministic durations.
+func (s *Scheduler) SetClock(now func() time.Time) { s.clock = now }
+
+// SetLogger installs the logger for the scheduler's operational records —
+// retries and store quarantines, each tagged with the run's run_id so logs
+// and the dashboard cross-reference the same identifier. Call before
+// submitting; nil (the default) disables the records.
+func (s *Scheduler) SetLogger(l *slog.Logger) { s.logger = l }
+
+// observe records one lifecycle phase duration.
+func (s *Scheduler) observe(phase int, d time.Duration) {
+	s.mu.Lock()
+	s.phases[phase].Add(d.Microseconds())
+	s.mu.Unlock()
+}
+
+// durationStats renders one histogram of microsecond samples as a
+// DurationStats in seconds. Callers hold s.mu (or the store's latMu
+// equivalent) as needed.
+func durationStats(name string, h *stats.Hist) DurationStats {
+	return DurationStats{
+		Phase:      name,
+		Count:      h.Count(),
+		SumSeconds: float64(h.Sum) / 1e6,
+		P50Seconds: float64(h.Quantile(50)) / 1e6,
+		P95Seconds: float64(h.Quantile(95)) / 1e6,
+		P99Seconds: float64(h.Quantile(99)) / 1e6,
+		MaxSeconds: float64(h.Max()) / 1e6,
 	}
 }
 
@@ -250,6 +350,14 @@ func (s *Scheduler) Stats() SchedStats {
 		Retries:      s.retries,
 		Interrupted:  s.interrupted,
 	}
+	st.Lifecycle = make([]DurationStats, numPhases)
+	for i := range s.phases {
+		st.Lifecycle[i] = durationStats(phaseNames[i], &s.phases[i])
+	}
+	if s.engineRuns > 0 {
+		eng := s.engine
+		st.Engine = &eng
+	}
 	s.mu.Unlock()
 	if s.resStore != nil {
 		ss := s.resStore.Stats()
@@ -259,6 +367,13 @@ func (s *Scheduler) Stats() SchedStats {
 			Misses:      ss.Misses,
 			Writes:      ss.Writes,
 			Quarantined: ss.Quarantined,
+		}
+		for _, l := range s.resStore.Latencies() {
+			st.Store.Ops = append(st.Store.Ops, DurationStats{
+				Phase: l.Op, Count: l.Count, SumSeconds: l.SumSeconds,
+				P50Seconds: l.P50Seconds, P95Seconds: l.P95Seconds,
+				P99Seconds: l.P99Seconds, MaxSeconds: l.MaxSeconds,
+			})
 		}
 	}
 	return st
@@ -307,12 +422,13 @@ func (s *Scheduler) Unique() uint64 {
 func (s *Scheduler) Submit(cfg ccsim.Config) *Pending {
 	key, cacheable := Fingerprint(cfg)
 	p := &Pending{done: make(chan struct{})}
+	submittedAt := s.clock()
 	if !cacheable {
 		s.mu.Lock()
 		s.submitted++
 		s.queued++
 		s.mu.Unlock()
-		go s.exec(p, cfg, key, false)
+		go s.exec(p, cfg, key, false, submittedAt)
 		return p
 	}
 	s.mu.Lock()
@@ -326,7 +442,7 @@ func (s *Scheduler) Submit(cfg ccsim.Config) *Pending {
 	s.unique++
 	s.queued++
 	s.mu.Unlock()
-	go s.exec(p, cfg, key, true)
+	go s.exec(p, cfg, key, true, submittedAt)
 	return p
 }
 
@@ -339,7 +455,7 @@ func (s *Scheduler) Failed() []FailedRun {
 	return append([]FailedRun(nil), s.failed...)
 }
 
-func (s *Scheduler) exec(p *Pending, cfg ccsim.Config, key string, cacheable bool) {
+func (s *Scheduler) exec(p *Pending, cfg ccsim.Config, key string, cacheable bool, submittedAt time.Time) {
 	select {
 	case s.slots <- struct{}{}:
 	case <-s.stop:
@@ -358,16 +474,20 @@ func (s *Scheduler) exec(p *Pending, cfg ccsim.Config, key string, cacheable boo
 		return
 	}
 	defer func() { <-s.slots }()
+	s.observe(phaseQueueWait, s.clock().Sub(submittedAt))
 	// Read-through: a valid store entry for this exact key — same schema,
 	// same canonical configuration — serves the run without simulating.
 	// That is the whole resume path: an interrupted sweep's completed runs
 	// hit here, only the missing ones execute. Metrics files are still
 	// written so a resumed `-metrics` sweep produces the full directory.
 	if s.resStore != nil && s.storeRead && cacheable {
-		if res, ok := s.storeGet(key); ok {
+		if res, ok := s.storeGet(key, cfg); ok {
 			p.res = res
 			if s.metricsDir != "" {
-				if werr := writeMetrics(s.metricsDir, cfg, res); werr != nil {
+				t0 := s.clock()
+				werr := writeMetrics(s.metricsDir, cfg, res)
+				s.observe(phaseMetricsWrite, s.clock().Sub(t0))
+				if werr != nil {
 					p.err = fmt.Errorf("metrics: %w", werr)
 				}
 			}
@@ -412,7 +532,8 @@ func (s *Scheduler) exec(p *Pending, cfg ccsim.Config, key string, cacheable boo
 	s.queued--
 	s.nextID++
 	id := s.nextID
-	s.live[id] = LiveRun{ID: id, Workload: cfg.Workload, Protocol: cfg.ProtocolName(), Progress: prog}
+	s.live[id] = LiveRun{ID: id, RunID: RunID(cfg), Workload: cfg.Workload,
+		Protocol: cfg.ProtocolName(), Progress: prog}
 	s.mu.Unlock()
 	// done closes on every path — a panicking run must never leave Wait()
 	// callers hanging. Deferred before the recover handler so the handler
@@ -431,6 +552,8 @@ func (s *Scheduler) exec(p *Pending, cfg ccsim.Config, key string, cacheable boo
 			s.completed++
 			if p.res != nil {
 				s.droppedSpans += p.res.DroppedSpans
+				s.engine.Merge(p.res.Queue)
+				s.engineRuns++
 			}
 			if cfg.Sharing != nil {
 				s.sharing.Merge(cfg.Sharing.Totals())
@@ -438,12 +561,17 @@ func (s *Scheduler) exec(p *Pending, cfg ccsim.Config, key string, cacheable boo
 		}
 		s.mu.Unlock()
 	}()
+	t0 := s.clock()
 	p.res, p.err = s.runWithRetry(cfg)
+	s.observe(phaseSimulate, s.clock().Sub(t0))
 	if p.err == nil && s.resStore != nil && cacheable {
 		// Write-behind: persist before the metrics write so a crash between
 		// the two still resumes (the store is the source of truth; metrics
 		// files regenerate from it on the resumed run).
-		if serr := s.storePut(key, p.res); serr != nil {
+		t1 := s.clock()
+		serr := s.storePut(key, p.res)
+		s.observe(phaseStorePut, s.clock().Sub(t1))
+		if serr != nil {
 			// The simulation itself succeeded: keep the Result for
 			// in-process waiters and surface the persistence failure as this
 			// run's error, same contract as a metrics-write failure.
@@ -451,7 +579,10 @@ func (s *Scheduler) exec(p *Pending, cfg ccsim.Config, key string, cacheable boo
 		}
 	}
 	if p.err == nil && s.metricsDir != "" {
-		if werr := writeMetrics(s.metricsDir, cfg, p.res); werr != nil {
+		t2 := s.clock()
+		werr := writeMetrics(s.metricsDir, cfg, p.res)
+		s.observe(phaseMetricsWrite, s.clock().Sub(t2))
+		if werr != nil {
 			// The simulation itself succeeded: keep the Result for
 			// in-process waiters and report the metrics failure as this
 			// run's error.
@@ -477,6 +608,15 @@ func (s *Scheduler) runWithRetry(cfg ccsim.Config) (*ccsim.Result, error) {
 		s.mu.Lock()
 		s.retries++
 		s.mu.Unlock()
+		if s.logger != nil {
+			kind := ""
+			if f, ok := ccsim.AsFault(err); ok {
+				kind = f.Kind
+			}
+			s.logger.Warn("transient fault; retrying run",
+				"run_id", RunID(cfg), "attempt", attempt, "max_attempts", attempts,
+				"kind", kind, "backoff", backoff.String())
+		}
 		if backoff > 0 {
 			select {
 			case <-time.After(backoff):
@@ -492,14 +632,22 @@ func (s *Scheduler) runWithRetry(cfg ccsim.Config) (*ccsim.Result, error) {
 // into the Result a fresh run would have produced. An entry whose bytes
 // verify but whose payload no longer deserializes is dropped (quarantined)
 // and treated as a miss — belt and braces under the schema tag.
-func (s *Scheduler) storeGet(key string) (*ccsim.Result, bool) {
-	b, ok := s.resStore.Get(key)
+func (s *Scheduler) storeGet(key string, cfg ccsim.Config) (*ccsim.Result, bool) {
+	b, ok, quarantined := s.resStore.GetEntry(key)
+	if quarantined && s.logger != nil {
+		s.logger.Warn("corrupt store entry quarantined; re-running",
+			"run_id", RunID(cfg), "store", s.resStore.Root())
+	}
 	if !ok {
 		return nil, false
 	}
 	var r ccsim.Result
 	if err := json.Unmarshal(b, &r); err != nil {
 		s.resStore.Drop(key)
+		if s.logger != nil {
+			s.logger.Warn("undecodable store entry dropped; re-running",
+				"run_id", RunID(cfg), "err", err.Error())
+		}
 		return nil, false
 	}
 	return &r, true

@@ -353,6 +353,7 @@ func (m *Machine) collect() *Result {
 		Nodes:        m.Cfg.Core.Nodes,
 		Traffic:      m.Sys.Traffic,
 		TotalPclocks: int64(m.Eng.Now()),
+		Queue:        m.Eng.QueueStats(),
 	}
 	for _, n := range m.Sys.Nodes {
 		for _, w := range []struct {
@@ -460,6 +461,11 @@ type Result struct {
 	OwnReqs, UpdateReqs                     uint64
 	MigDetections, MigReverts, ExclSupplies uint64
 	PointerOverflows, BroadcastInvs         uint64
+
+	// Queue is the event engine's internal scheduling profile for the run
+	// (wheel vs overflow routing, migrations, cohort sizes, high-water
+	// marks).
+	Queue sim.QueueStats
 }
 
 // MissRatePct returns the given miss component as a percentage of shared

@@ -16,11 +16,13 @@ import (
 	"ccsim/internal/sim"
 )
 
-// fakeSource is a Source with fixed stats, runs and sharing report.
+// fakeSource is a Source with fixed stats, runs, failures and sharing
+// report.
 type fakeSource struct {
 	mu      sync.Mutex
 	stats   exp.SchedStats
 	runs    []exp.LiveRun
+	failed  []exp.FailedRun
 	sharing *ccsim.SharingReport
 }
 
@@ -34,6 +36,12 @@ func (f *fakeSource) LiveRuns() []exp.LiveRun {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return append([]exp.LiveRun(nil), f.runs...)
+}
+
+func (f *fakeSource) Failed() []exp.FailedRun {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]exp.FailedRun(nil), f.failed...)
 }
 
 func (f *fakeSource) SharingReport() *ccsim.SharingReport {
@@ -67,18 +75,44 @@ func testSource(t *testing.T) *fakeSource {
 	t.Helper()
 	p := &ccsim.Progress{Label: "mp3d/P+CW"}
 	driveProbe(t, p)
+	engine := ccsim.QueueStats{
+		Dispatched: 40000, WheelScheduled: 39000, OverflowScheduled: 1000,
+		Migrations: 1000, Cohorts: 9000, CappedBatches: 6, MaxCohort: 32,
+		WheelHighWater: 512, OverflowHighWater: 48,
+	}
+	engine.CohortSizeLog2[0] = 7000
+	engine.CohortSizeLog2[2] = 2000
+	dur := func(phase string, n uint64) exp.DurationStats {
+		return exp.DurationStats{
+			Phase: phase, Count: n, SumSeconds: float64(n) * 0.002,
+			P50Seconds: 0.001, P95Seconds: 0.003, P99Seconds: 0.004, MaxSeconds: 0.005,
+		}
+	}
+	failedCfg := ccsim.DefaultConfig()
+	failedCfg.Workload = "water"
 	return &fakeSource{
 		stats: exp.SchedStats{
 			Submitted: 275, Unique: 200, DedupHits: 75,
 			Queued: 10, Running: 2, Completed: 180, Failed: 8,
 			DroppedSpans: 3, Retries: 5, Interrupted: 4,
+			Engine: &engine,
+			Lifecycle: []exp.DurationStats{
+				dur("queue_wait", 180), dur("simulate", 180),
+				dur("store_put", 140), dur("metrics_write", 180),
+			},
 			Store: &exp.StoreStats{
 				Dir: "/tmp/cache", Hits: 60, Misses: 140, Writes: 140, Quarantined: 2,
+				Ops: []exp.DurationStats{
+					dur("read", 60), dur("validate", 60), dur("write", 140),
+				},
 			},
 		},
 		runs: []exp.LiveRun{
-			{ID: 1, Workload: "mp3d", Protocol: "P+CW", Progress: p},
+			{ID: 1, RunID: "mp3d/P+CW/0a1b2c3d", Workload: "mp3d", Protocol: "P+CW", Progress: p},
 			{ID: 2, Workload: "ocean", Protocol: "BASIC-SC", Progress: &ccsim.Progress{}},
+		},
+		failed: []exp.FailedRun{
+			{Cfg: failedCfg, Err: &ccsim.SimFault{Kind: ccsim.FaultMaxEvents}},
 		},
 		sharing: &ccsim.SharingReport{
 			Blocks: 11,
@@ -142,6 +176,27 @@ func TestMetricsParses(t *testing.T) {
 		`ccsim_sharing_reads_total{class="read-only"} 700`,
 		`ccsim_sharing_traffic_bytes_total{class="migratory",kind="update"} 24`,
 		`ccsim_sharing_miss_latency_pclocks{class="migratory",quantile="0.95"} 60`,
+		"ccsim_engine_events_dispatched_total 40000",
+		"ccsim_engine_wheel_scheduled_total 39000",
+		"ccsim_engine_overflow_scheduled_total 1000",
+		"ccsim_engine_migrations_total 1000",
+		"ccsim_engine_cohorts_total 9000",
+		"ccsim_engine_capped_batches_total 6",
+		"ccsim_engine_wheel_occupancy_highwater 512",
+		"ccsim_engine_overflow_highwater 48",
+		"ccsim_engine_max_cohort_events 32",
+		`ccsim_engine_cohort_size_events_bucket{le="1"} 7000`,
+		`ccsim_engine_cohort_size_events_bucket{le="7"} 9000`,
+		`ccsim_engine_cohort_size_events_bucket{le="+Inf"} 9000`,
+		"ccsim_engine_cohort_size_events_sum 40000",
+		"ccsim_engine_cohort_size_events_count 9000",
+		`ccsim_sched_duration_seconds{phase="queue_wait",quantile="0.5"} 0.001`,
+		`ccsim_sched_duration_seconds{phase="simulate",quantile="max"} 0.005`,
+		`ccsim_sched_duration_seconds_sum{phase="simulate"} 0.36`,
+		`ccsim_sched_duration_seconds_count{phase="store_put"} 140`,
+		`ccsim_store_duration_seconds{op="write",quantile="0.99"} 0.004`,
+		`ccsim_store_duration_seconds_sum{op="read"} 0.12`,
+		`ccsim_store_duration_seconds_count{op="validate"} 60`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q\nbody:\n%s", want, body)
@@ -227,10 +282,61 @@ func TestStatusJSON(t *testing.T) {
 	if r.WallSeconds < 0 || r.HeartbeatAgeSeconds < 0 {
 		t.Fatalf("negative wall/heartbeat: %+v", r)
 	}
+	if r.RunID != "mp3d/P+CW/0a1b2c3d" {
+		t.Fatalf("run_id = %q, want scheduler-assigned id", r.RunID)
+	}
 	// Run 2 never started: all zeros, no NaN/Inf leakage into JSON
 	// (json.Marshal would have failed on either).
 	if st.Runs[1].Events != 0 || st.Runs[1].EventsPerSec != 0 {
 		t.Fatalf("unstarted run reports progress: %+v", st.Runs[1])
+	}
+	if len(st.Failures) != 1 {
+		t.Fatalf("failures = %d, want 1", len(st.Failures))
+	}
+	f := st.Failures[0]
+	if f.Workload != "water" || f.Kind != ccsim.FaultMaxEvents {
+		t.Fatalf("failure row = %+v", f)
+	}
+	if !strings.HasPrefix(f.RunID, "water/") || f.Error == "" {
+		t.Fatalf("failure row missing run_id/error: %+v", f)
+	}
+}
+
+// TestDashboardServes checks /dashboard ships the embedded HTML page.
+func TestDashboardServes(t *testing.T) {
+	rec := httptest.NewRecorder()
+	NewServer(testSource(t)).Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/dashboard", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/dashboard status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("/dashboard content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"ccsim sweep dashboard", "/status"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/dashboard missing %q", want)
+		}
+	}
+}
+
+// TestPprofGating checks the profiling endpoints stay dark unless the
+// server was built with EnablePprof.
+func TestPprofGating(t *testing.T) {
+	srv := NewServer(testSource(t))
+	if code, _ := get(t, srv.Handler(), "/debug/pprof/"); code != 404 {
+		t.Fatalf("/debug/pprof/ status %d without opt-in, want 404", code)
+	}
+	srv.EnablePprof()
+	code, body := get(t, srv.Handler(), "/debug/pprof/")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/ status %d after EnablePprof", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index missing profile listing")
+	}
+	if code, _ := get(t, srv.Handler(), "/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
 	}
 }
 

@@ -3,7 +3,9 @@
 package prof
 
 import (
+	"compress/gzip"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -49,4 +51,29 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			}
 		}
 	}, nil
+}
+
+// ValidateProfile checks that path holds a well-formed runtime/pprof
+// profile: a non-empty gzip stream (the pprof wire format) that
+// decompresses to a non-empty protobuf payload. It is the round-trip
+// check both CLIs' -cpuprofile/-memprofile tests share.
+func ValidateProfile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return fmt.Errorf("%s is not a gzip stream (pprof wire format): %w", path, err)
+	}
+	defer zr.Close()
+	n, err := io.Copy(io.Discard, zr)
+	if err != nil {
+		return fmt.Errorf("%s decompression failed: %w", path, err)
+	}
+	if n == 0 {
+		return fmt.Errorf("%s decompressed to an empty profile", path)
+	}
+	return nil
 }

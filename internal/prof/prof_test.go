@@ -37,6 +37,25 @@ func TestStartWritesProfiles(t *testing.T) {
 		if fi.Size() == 0 {
 			t.Fatalf("%s is empty", p)
 		}
+		if err := ValidateProfile(p); err != nil {
+			t.Errorf("round-trip produced an unparseable profile: %v", err)
+		}
+	}
+}
+
+// TestValidateProfileRejects checks the validator fails on missing and
+// non-gzip files rather than rubber-stamping anything on disk.
+func TestValidateProfileRejects(t *testing.T) {
+	dir := t.TempDir()
+	if err := ValidateProfile(filepath.Join(dir, "absent")); err == nil {
+		t.Error("missing file validated")
+	}
+	plain := filepath.Join(dir, "plain")
+	if err := os.WriteFile(plain, []byte("not a profile"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateProfile(plain); err == nil {
+		t.Error("non-gzip file validated")
 	}
 }
 

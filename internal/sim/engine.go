@@ -105,6 +105,12 @@ type Engine struct {
 	// the wall-clock nanosecond of the previous sample.
 	prof     *SelfProfiler
 	profLast int64
+
+	// qstats holds the always-on queue introspection counters (see
+	// QueueStats); wheelLive tracks the current wheel-resident event count
+	// so schedule/migrate can maintain the occupancy high-water mark.
+	qstats    QueueStats
+	wheelLive int
 }
 
 // NewEngine returns an engine with an empty event queue at time 0.
@@ -187,8 +193,17 @@ func (e *Engine) alloc(ev event) int32 {
 func (e *Engine) schedule(ev event) {
 	e.pending++
 	if ev.at-e.now >= wheelSize {
+		e.qstats.OverflowScheduled++
 		e.overflowPush(ev)
+		if n := len(e.overflow); n > e.qstats.OverflowHighWater {
+			e.qstats.OverflowHighWater = n
+		}
 		return
+	}
+	e.qstats.WheelScheduled++
+	e.wheelLive++
+	if e.wheelLive > e.qstats.WheelHighWater {
+		e.qstats.WheelHighWater = e.wheelLive
 	}
 	s := e.alloc(ev)
 	b := int(ev.at) & wheelMask
@@ -209,6 +224,11 @@ func (e *Engine) schedule(ev event) {
 func (e *Engine) migrate() {
 	for len(e.overflow) > 0 && e.overflow[0].at-e.now < wheelSize {
 		ev := e.overflowPop()
+		e.qstats.Migrations++
+		e.wheelLive++
+		if e.wheelLive > e.qstats.WheelHighWater {
+			e.qstats.WheelHighWater = e.wheelLive
+		}
 		s := e.alloc(ev)
 		b := int(ev.at) & wheelMask
 		w, bit := b>>6, uint64(1)<<uint(b&63)
@@ -295,6 +315,23 @@ func (e *Engine) runCohort(budget uint64) uint64 {
 			ev.call(ev.arg)
 		} else {
 			ev.fn()
+		}
+	}
+	if ran > 0 {
+		e.wheelLive -= int(ran)
+		q := &e.qstats
+		q.Dispatched += ran
+		q.Cohorts++
+		if ran > q.MaxCohort {
+			q.MaxCohort = ran
+		}
+		idx := bits.Len64(ran) - 1
+		if idx >= cohortLogBuckets {
+			idx = cohortLogBuckets - 1
+		}
+		q.CohortSizeLog2[idx]++
+		if ran == budget && e.occ[w]&bit != 0 {
+			q.CappedBatches++
 		}
 	}
 	return ran

@@ -1,0 +1,8 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the binary was built with the race detector.
+// Timing-sensitive guards (the ns/op benchmark pin) skip under race, where
+// every memory access carries instrumentation overhead.
+const raceEnabled = false

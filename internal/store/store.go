@@ -36,7 +36,11 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
+
+	"ccsim/internal/stats"
 )
 
 // magic is the entry format version; bump it if the on-disk layout
@@ -55,6 +59,26 @@ type Stats struct {
 	Quarantined uint64 // corrupt/truncated files moved to the sidecar dir
 }
 
+// Latency op indexes into Store.lat; opNames names them for snapshots.
+const (
+	opRead     = iota // os.ReadFile of an existing entry
+	opValidate        // header/checksum/key validation of the read bytes
+	opWrite           // full Put commit: temp write, fsync, rename
+	numOps
+)
+
+// OpLatency is one operation's latency distribution snapshot, in seconds —
+// the shape the ops plane exports as ccsim_store_duration_seconds.
+type OpLatency struct {
+	Op         string  `json:"op"` // "read", "validate", or "write"
+	Count      uint64  `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P95Seconds float64 `json:"p95_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	MaxSeconds float64 `json:"max_seconds"`
+}
+
 // Store is one on-disk result cache rooted at a directory. Create with
 // Open; the zero value is not usable.
 type Store struct {
@@ -64,6 +88,12 @@ type Store struct {
 	misses      atomic.Uint64
 	writes      atomic.Uint64
 	quarantined atomic.Uint64
+
+	// lat holds per-operation latency histograms in microseconds: disk
+	// reads, entry validation, and full Put commits. latMu guards them —
+	// these are cold paths (one read or write per run), so a mutex is fine.
+	latMu sync.Mutex
+	lat   [numOps]stats.Hist
 }
 
 // Open creates (if needed) and opens the store rooted at dir, sweeping any
@@ -112,30 +142,75 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.root, hex.EncodeToString(h[:20])+entryExt)
 }
 
+// observe records one operation's duration in the op's latency histogram,
+// in microseconds.
+func (s *Store) observe(op int, d time.Duration) {
+	s.latMu.Lock()
+	s.lat[op].Add(d.Microseconds())
+	s.latMu.Unlock()
+}
+
+// Latencies snapshots the per-operation latency distributions, in seconds,
+// in a fixed op order (read, validate, write). Operations that never ran
+// report Count 0.
+func (s *Store) Latencies() []OpLatency {
+	names := [numOps]string{opRead: "read", opValidate: "validate", opWrite: "write"}
+	out := make([]OpLatency, numOps)
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	for i := range s.lat {
+		h := &s.lat[i]
+		out[i] = OpLatency{
+			Op:         names[i],
+			Count:      h.Count(),
+			SumSeconds: float64(h.Sum) / 1e6,
+			P50Seconds: float64(h.Quantile(50)) / 1e6,
+			P95Seconds: float64(h.Quantile(95)) / 1e6,
+			P99Seconds: float64(h.Quantile(99)) / 1e6,
+			MaxSeconds: float64(h.Max()) / 1e6,
+		}
+	}
+	return out
+}
+
 // Get returns the payload stored under key, or ok=false on a miss. A file
 // that exists but fails validation — truncated payload, checksum or key
 // mismatch, unparseable header — is quarantined and reported as a miss,
 // so callers re-run and re-Put; Get never returns partial data.
 func (s *Store) Get(key string) (payload []byte, ok bool) {
+	payload, ok, _ = s.GetEntry(key)
+	return payload, ok
+}
+
+// GetEntry is Get plus the disposition: quarantined reports whether this
+// lookup found an entry file but had to quarantine it (corrupt, truncated,
+// or unreadable), so callers holding run context can log the event with a
+// stable identifier instead of inferring it from counter deltas.
+func (s *Store) GetEntry(key string) (payload []byte, ok, quarantined bool) {
 	p := s.path(key)
+	t0 := time.Now()
 	b, err := os.ReadFile(p)
 	if err != nil {
 		if !os.IsNotExist(err) {
 			// Unreadable entry (permissions, I/O error): get it out of the
 			// lookup path so the sweep proceeds by re-running.
 			s.quarantine(p)
+			quarantined = true
 		}
 		s.misses.Add(1)
-		return nil, false
+		return nil, false, quarantined
 	}
+	s.observe(opRead, time.Since(t0))
+	t1 := time.Now()
 	payload, err = decode(b, key)
+	s.observe(opValidate, time.Since(t1))
 	if err != nil {
 		s.quarantine(p)
 		s.misses.Add(1)
-		return nil, false
+		return nil, false, true
 	}
 	s.hits.Add(1)
-	return payload, true
+	return payload, true, false
 }
 
 // Put commits payload under key atomically: temp file, fsync, rename. An
@@ -145,6 +220,7 @@ func (s *Store) Put(key string, payload []byte) error {
 	if strings.Contains(key, "\n") {
 		return fmt.Errorf("store: key contains a newline: %q", key)
 	}
+	t0 := time.Now()
 	f, err := os.CreateTemp(s.root, "tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -176,6 +252,7 @@ func (s *Store) Put(key string, payload []byte) error {
 		os.Remove(tmp)
 		return fmt.Errorf("store: %w", err)
 	}
+	s.observe(opWrite, time.Since(t0))
 	s.writes.Add(1)
 	return nil
 }

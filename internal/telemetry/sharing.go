@@ -73,23 +73,23 @@ const (
 type blockShare struct {
 	class SharingClass
 
-	reads, writes  uint64
-	misses         uint64
-	invals         uint64
-	updates        uint64
-	msgs           uint64
-	ctlBytes       uint64
-	dataBytes      uint64
-	updateBytes    uint64
-	readers        uint64                          // node bitmask
-	writers        uint64                          // node bitmask
-	wordWriters    [memsys.WordsPerBlock]uint64    // per-word writer bitmasks
-	overlap        bool                            // two writers share a word
-	writerChanges  uint64                          // writes by a node other than the previous writer
-	handoffs       uint64                          // writer changes preceded by the new writer's own read
-	lastWriter     int16
-	lastTouchNode  int16
-	lastTouchRead  bool
+	reads, writes uint64
+	misses        uint64
+	invals        uint64
+	updates       uint64
+	msgs          uint64
+	ctlBytes      uint64
+	dataBytes     uint64
+	updateBytes   uint64
+	readers       uint64                       // node bitmask
+	writers       uint64                       // node bitmask
+	wordWriters   [memsys.WordsPerBlock]uint64 // per-word writer bitmasks
+	overlap       bool                         // two writers share a word
+	writerChanges uint64                       // writes by a node other than the previous writer
+	handoffs      uint64                       // writer changes preceded by the new writer's own read
+	lastWriter    int16
+	lastTouchNode int16
+	lastTouchRead bool
 }
 
 func nodeBit(n int) uint64 {

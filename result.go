@@ -5,9 +5,19 @@ import (
 
 	"ccsim/internal/machine"
 	"ccsim/internal/memsys"
+	"ccsim/internal/sim"
 	"ccsim/internal/stats"
 	"ccsim/internal/telemetry"
 )
+
+// QueueStats is the event engine's internal scheduling profile — wheel vs
+// overflow routing counts, migrations, cohort-size histogram, and depth
+// high-water marks. See sim.QueueStats for field documentation.
+type QueueStats = sim.QueueStats
+
+// CohortBucketMax returns the largest cohort size QueueStats.CohortSizeLog2
+// bucket i covers (the last bucket is open-ended).
+func CohortBucketMax(i int) uint64 { return sim.CohortBucketMax(i) }
 
 func memAddr(a uint64) memsys.Addr { return memsys.Addr(a) }
 
@@ -134,6 +144,10 @@ type Result struct {
 	WriteCacheHits    uint64
 	PointerOverflows  uint64 // limited-pointer directory overflow events
 	BroadcastInvs     uint64 // ownership grants that broadcast invalidations
+
+	// Queue is the event engine's queue-internals profile for the run:
+	// always-on counters the ops plane aggregates across a sweep.
+	Queue QueueStats
 }
 
 func convertResult(cfg Config, r *machine.Result) *Result {
@@ -180,6 +194,7 @@ func convertResult(cfg Config, r *machine.Result) *Result {
 		WriteCacheHits:     r.Cache.WCHits,
 		PointerOverflows:   r.PointerOverflows,
 		BroadcastInvs:      r.BroadcastInvs,
+		Queue:              r.Queue,
 	}
 }
 

@@ -18,11 +18,15 @@ go test -race -short ccsim/internal/sim ccsim/internal/telemetry ccsim/internal/
 # scheduling, overflow migration, cohort dispatch, watchdog batching).
 go test -race -count=1 -run 'TestEngine|TestEventOrder' ccsim/internal/sim
 
-# Advisory engine-speed trend: print the ns/op delta table between the two
-# most recent archived baselines. Informational only — benchmark noise must
-# never fail the gate.
-if [ -f BENCH_PR6.json ] && [ -f BENCH_PR7.json ]; then
-    go run ./cmd/benchjson -compare BENCH_PR6.json BENCH_PR7.json || true
+# Ops-handler race pass, named directly in CI logs: live scrapes against a
+# running scheduler plus the dashboard and gated pprof endpoints.
+go test -race -count=1 -run 'TestScrapeDuringSweep|TestDashboardServes|TestPprofGating' ccsim/internal/ops
+
+# Advisory engine-speed trend: print the ns/op delta table (with its
+# geomean summary row) between the two most recent archived baselines.
+# Informational only — benchmark noise must never fail the gate.
+if [ -f BENCH_PR7.json ] && [ -f BENCH_PR9.json ]; then
+    go run ./cmd/benchjson -compare BENCH_PR7.json BENCH_PR9.json || true
 fi
 
 # Watchdog smoke: a generous event ceiling must not disturb a clean run,
@@ -114,4 +118,54 @@ cmp /tmp/ccsim-resume-ref.txt /tmp/ccsim-resume-out2.txt
 ls /tmp/ccsim-store/quarantine/* > /dev/null
 rm -rf /tmp/ccsim-store /tmp/ccsim-resume-ref.txt /tmp/ccsim-resume-out.txt \
     /tmp/ccsim-resume-out2.txt
+
+# Live ops-plane smoke: a sweep serving -listen -pprof must answer
+# /dashboard and the gated /debug/pprof/ endpoints, and /metrics must carry
+# the engine queue-internals and lifecycle-duration families once the first
+# runs complete — scraped mid-sweep, while the scheduler is still working.
+fetch() {
+    if command -v curl > /dev/null 2>&1; then
+        curl -sf "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+# No -q: the listening address arrives as an Info-level stderr record.
+# Scale 0.25 keeps the sweep alive for several seconds so the scrapes
+# below genuinely land mid-sweep.
+/tmp/experiments-verify -exp table2 -scale 0.25 -procs 8 \
+    -listen 127.0.0.1:0 -pprof > /dev/null 2> /tmp/ccsim-ops-log.txt &
+OPS_PID=$!
+ADDR=""
+i=0
+while [ "$i" -lt 100 ]; do
+    ADDR=$(sed -n 's/.*ops server listening.*addr=\([0-9.]*:[0-9]*\).*/\1/p' /tmp/ccsim-ops-log.txt | head -1)
+    [ -n "$ADDR" ] && break
+    i=$((i + 1))
+    sleep 0.1
+done
+test -n "$ADDR"
+fetch "http://$ADDR/dashboard" | grep -q "ccsim sweep dashboard"
+fetch "http://$ADDR/debug/pprof/heap?debug=1" > /dev/null
+fetch "http://$ADDR/debug/pprof/cmdline" > /dev/null
+# Poll /metrics until the engine and duration families appear (they need
+# one completed run), keeping the last successful scrape so a sweep that
+# drains between polls can't empty the assertion input.
+MID=""
+i=0
+while [ "$i" -lt 300 ] && kill -0 "$OPS_PID" 2> /dev/null; do
+    CUR=$(fetch "http://$ADDR/metrics" || true)
+    [ -n "$CUR" ] && MID=$CUR
+    if printf '%s' "$MID" | grep -q ccsim_engine_events_dispatched_total &&
+        printf '%s' "$MID" | grep -q ccsim_sched_duration_seconds_count; then
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+printf '%s' "$MID" | grep -q ccsim_engine_events_dispatched_total
+printf '%s' "$MID" | grep -q ccsim_sched_duration_seconds_count
+printf '%s' "$MID" | grep -q ccsim_engine_cohort_size_events_bucket
+wait "$OPS_PID"
+rm -f /tmp/ccsim-ops-log.txt
 rm -f /tmp/metricsdiff-verify /tmp/experiments-verify
