@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"ccsim"
+	"ccsim/exp"
+)
+
+// worker is the pull side of the distributed-sweep wire protocol: it polls
+// a coordinator (`experiments -listen ... -serve-jobs`) for leased jobs,
+// simulates each locally, keeps the lease alive with heartbeats, and
+// delivers the Result back. It carries no sweep state of its own — the
+// full Config travels with the lease — so any number of workers can join
+// or leave a sweep at any time.
+type worker struct {
+	client  *http.Client
+	base    string
+	name    string
+	poll    time.Duration
+	hold    time.Duration
+	retries int
+	backoff time.Duration
+	logger  *slog.Logger
+}
+
+// defaultWorkerName is the worker identity when -worker-name is unset:
+// host-pid, unique per process across a fleet of identical machines.
+func defaultWorkerName() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// post sends body as JSON to the coordinator and, on a 200, decodes the
+// response into out (when non-nil). A transport error means the
+// coordinator is unreachable; HTTP-level rejections come back as the
+// status code.
+func (w *worker) post(path string, body, out any) (int, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := w.client.Post(w.base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("bad coordinator response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// runWorker is the -worker entry point: poll for jobs until the
+// coordinator goes away. Exit 0 once the coordinator disappears after at
+// least one successful contact (the sweep ended — normal fleet teardown);
+// exit 1 if it was never reachable or refuses this build's schema.
+func runWorker(logger *slog.Logger, base, name string, poll, hold time.Duration, retries int, backoff time.Duration) int {
+	w := &worker{
+		client:  &http.Client{Timeout: 30 * time.Second},
+		base:    strings.TrimRight(base, "/"),
+		name:    name,
+		poll:    poll,
+		hold:    hold,
+		retries: retries,
+		backoff: backoff,
+		logger:  logger,
+	}
+	logger.Info("worker starting", "coordinator", w.base, "worker", w.name)
+	connected := false
+	failures := 0
+	for {
+		var wj exp.WireJob
+		code, err := w.post("/worker/lease", exp.LeaseRequest{Worker: w.name, Schema: exp.ResultSchemaVersion()}, &wj)
+		if err != nil {
+			if connected {
+				logger.Info("coordinator gone; worker exiting", "coordinator", w.base)
+				return 0
+			}
+			failures++
+			if failures >= 40 {
+				logger.Error("coordinator unreachable", "coordinator", w.base, "err", err)
+				return 1
+			}
+			time.Sleep(w.poll)
+			continue
+		}
+		connected = true
+		switch code {
+		case http.StatusOK:
+			if !w.execute(wj) {
+				logger.Info("coordinator gone; worker exiting", "coordinator", w.base)
+				return 0
+			}
+		case http.StatusNoContent:
+			// Nothing queued right now; the sweep may still produce more.
+			time.Sleep(w.poll)
+		case http.StatusConflict:
+			logger.Error("schema skew: this worker build's Result schema does not match the coordinator's; rebuild from the same source", "coordinator", w.base)
+			return 1
+		default:
+			logger.Warn("unexpected lease response", "status", code)
+			time.Sleep(w.poll)
+		}
+	}
+}
+
+// execute simulates one leased job and delivers its outcome, heartbeating
+// every third of the lease TTL while the simulation runs. Reports false
+// when the coordinator became unreachable (the worker should exit).
+func (w *worker) execute(wj exp.WireJob) bool {
+	runID := exp.RunID(wj.Config)
+	// The coordinator's key is authoritative; a fingerprint mismatch means
+	// the config was mangled in transit, and simulating it would deliver a
+	// result under the wrong identity.
+	if key, ok := exp.Fingerprint(wj.Config); !ok || key != wj.Key {
+		w.logger.Error("leased config does not match its key; refusing", "run_id", runID, "job", wj.ID)
+		code, perr := w.post("/worker/result", exp.WireResult{
+			ID: wj.ID, Lease: wj.Lease, Worker: w.name,
+			Error: "worker: leased config does not re-fingerprint to its key",
+		}, nil)
+		_ = code
+		return perr == nil
+	}
+	w.logger.Info("job leased", "run_id", runID, "job", wj.ID)
+
+	cfg := wj.Config
+	cancel := &ccsim.Cancel{}
+	cfg.Cancel = cancel
+	var (
+		res     *ccsim.Result
+		rerr    error
+		elapsed time.Duration
+		done    = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		defer func() {
+			if r := recover(); r != nil {
+				rerr = fmt.Errorf("worker: simulation panic: %v", r)
+			}
+		}()
+		// -worker-hold is a test hook: sit on the lease before simulating,
+		// so harnesses can kill the worker mid-job deterministically.
+		if w.hold > 0 {
+			time.Sleep(w.hold)
+		}
+		t0 := time.Now()
+		defer func() { elapsed = time.Since(t0) }()
+		// The same retry semantics the coordinator applies locally:
+		// transient watchdog faults re-run with doubling backoff,
+		// deterministic faults don't.
+		sleep := w.backoff
+		for attempt := 1; ; attempt++ {
+			res, rerr = ccsim.Run(cfg)
+			if rerr == nil || attempt > w.retries || !exp.Retryable(rerr) || cancel.Cancelled() {
+				return
+			}
+			w.logger.Warn("retrying run", "run_id", runID, "attempt", attempt, "err", rerr)
+			if sleep > 0 {
+				time.Sleep(sleep)
+				sleep *= 2
+			}
+		}
+	}()
+
+	hb := time.Duration(wj.LeaseTTLSeconds * float64(time.Second) / 3)
+	if hb <= 0 {
+		hb = 10 * time.Second
+	}
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
+	lost := false
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		case <-ticker.C:
+			code, err := w.post("/worker/heartbeat", exp.HeartbeatRequest{ID: wj.ID, Lease: wj.Lease, Worker: w.name}, nil)
+			if err == nil && code == http.StatusGone {
+				// The lease expired or the job resolved elsewhere: abandon
+				// the simulation and drop its result.
+				w.logger.Warn("lease lost; abandoning job", "run_id", runID, "job", wj.ID)
+				cancel.Cancel()
+				lost = true
+				<-done
+				running = false
+			}
+			// A transport error here is not fatal: keep simulating; if the
+			// coordinator is really gone the result delivery below fails and
+			// the worker exits.
+		}
+	}
+	if lost {
+		return true
+	}
+
+	wr := exp.WireResult{ID: wj.ID, Lease: wj.Lease, Worker: w.name,
+		Result: res, ElapsedMicros: elapsed.Microseconds()}
+	if rerr != nil {
+		wr.Result = nil
+		wr.Error = rerr.Error()
+		if sf, ok := ccsim.AsFault(rerr); ok {
+			wr.FaultKind = sf.Kind
+		}
+	}
+	code, err := w.post("/worker/result", wr, nil)
+	if err != nil {
+		return false
+	}
+	switch code {
+	case http.StatusNoContent:
+		w.logger.Info("job completed", "run_id", runID, "job", wj.ID,
+			"elapsed", elapsed.Round(time.Millisecond).String(), "ok", rerr == nil)
+	case http.StatusGone:
+		w.logger.Warn("delivery rejected: lease expired before the result landed", "run_id", runID, "job", wj.ID)
+	default:
+		w.logger.Warn("unexpected delivery response", "status", code, "run_id", runID)
+	}
+	return true
+}

@@ -1,0 +1,605 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ccsim"
+)
+
+// ErrSchemaSkew rejects a worker whose build serializes Result differently
+// from the coordinator's: its deliveries could not merge byte-identically,
+// so it never receives a lease. Workers treat it as fatal (rebuild, then
+// reconnect).
+var ErrSchemaSkew = errors.New("worker result schema does not match the coordinator")
+
+// ErrUncacheable rejects a job submission whose configuration carries side
+// channels (trace, telemetry, checker, ...): those runs have observable
+// effects beyond the Result and cannot execute remotely.
+var ErrUncacheable = errors.New("configuration carries side channels and cannot run as a job")
+
+// Job lifecycle states inside the queue. A job starts queued, is claimed
+// by the coordinator's own slot pool (running) or leased to a worker
+// (leased, returning to queued if the lease expires), and ends done —
+// whether delivered remotely, finished locally, or abandoned by shutdown.
+type jobState int
+
+const (
+	jobQueued jobState = iota
+	jobLeased
+	jobLocalRunning
+	jobDone
+)
+
+// job is one distributed unit of work: a cacheable configuration plus the
+// Pending every submitter of its fingerprint shares.
+type job struct {
+	id          uint64
+	key         string
+	cfg         ccsim.Config
+	p           *Pending
+	submittedAt time.Time
+
+	// Guarded by the queue's mu.
+	state     jobState
+	leasable  bool   // false for runs the durable store already holds
+	lease     string // current lease nonce, "" unless leased
+	worker    string // leasing (or delivering) worker, "" for local runs
+	expiry    time.Time
+	abandoned bool
+	// wake is non-nil while leased and closes when the lease ends for any
+	// reason, so exec's claim loop re-evaluates instead of sleeping on a
+	// dead lease.
+	wake chan struct{}
+}
+
+// JobQueueOptions configures NewJobQueue.
+type JobQueueOptions struct {
+	// LeaseTTL is how long a worker's lease lasts without a heartbeat
+	// before the job re-queues; <= 0 selects 30s.
+	LeaseTTL time.Duration
+}
+
+// JobQueue bridges the Scheduler to remote workers: every cacheable
+// submission is offered here as a leasable job, HTTP handlers (internal/
+// ops) lease jobs to `experiments -worker` processes, and delivered
+// results flow back through the scheduler's normal store/metrics/
+// accounting path. The coordinator's own slot pool competes for the same
+// jobs, so a sweep drains at full speed with zero workers attached and a
+// crashed worker only costs one lease TTL.
+//
+// Create with NewJobQueue before submitting anything; safe for concurrent
+// use. Lock order: the queue's mu never wraps the scheduler's (offer runs
+// under the scheduler's mu, so every queue method that touches scheduler
+// state releases mu first).
+type JobQueue struct {
+	s        *Scheduler
+	leaseTTL time.Duration
+	now      func() time.Time
+
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	mu        sync.Mutex
+	nextID    uint64
+	nextLease uint64
+	jobs      map[uint64]*job
+	byKey     map[string]*job
+	order     []uint64 // job IDs in submission order, for listings
+	ready     []*job   // leasable jobs waiting, FIFO
+	workers   map[string]*workerState
+	leased    int
+
+	submitted       uint64
+	apiSubmitted    uint64
+	localClaimed    uint64
+	remoteCompleted uint64
+	remoteFailed    uint64
+	leaseExpired    uint64
+	rejected        uint64
+}
+
+// workerState is the coordinator's view of one worker process.
+type workerState struct {
+	leases   int
+	jobs     uint64
+	lastSeen time.Time
+}
+
+// JobStats snapshots the queue's counters — the ccsim_jobs_* and
+// ccsim_worker_* series the ops plane exports.
+type JobStats struct {
+	Submitted       uint64 `json:"submitted"`        // jobs offered to the queue
+	APISubmitted    uint64 `json:"api_submitted"`    // submissions arriving via POST /jobs
+	Queued          int    `json:"queued"`           // leasable jobs waiting
+	Leased          int    `json:"leased"`           // jobs currently out on a worker lease
+	LocalClaimed    uint64 `json:"local_claimed"`    // jobs the coordinator executed itself
+	RemoteCompleted uint64 `json:"remote_completed"` // clean results delivered by workers
+	RemoteFailed    uint64 `json:"remote_failed"`    // worker deliveries carrying a fault
+	LeaseExpired    uint64 `json:"lease_expired"`    // leases that timed out and re-queued
+	Rejected        uint64 `json:"rejected"`         // schema-skewed leases + stale deliveries
+
+	// Workers lists every worker that ever contacted the coordinator,
+	// sorted by name.
+	Workers []WorkerStatus `json:"workers,omitempty"`
+}
+
+// WorkerStatus is one worker's row in JobStats.
+type WorkerStatus struct {
+	Name                string  `json:"name"`
+	Leases              int     `json:"leases"` // jobs it holds right now
+	Jobs                uint64  `json:"jobs"`   // results it has delivered
+	HeartbeatAgeSeconds float64 `json:"heartbeat_age_seconds"`
+}
+
+// JobView is one job as the HTTP API reports it (GET /jobs, GET
+// /jobs/{id}). State is queued, leased, running, finishing, completed,
+// failed or interrupted; Result and Error appear once the run resolves.
+type JobView struct {
+	ID       uint64        `json:"id"`
+	Key      string        `json:"key"`
+	RunID    string        `json:"run_id"`
+	Workload string        `json:"workload"`
+	Protocol string        `json:"protocol"`
+	State    string        `json:"state"`
+	Worker   string        `json:"worker,omitempty"`
+	Result   *ccsim.Result `json:"result,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// WireJob is one leased job on the wire: the canonical configuration plus
+// the lease the worker must echo back. Key carries the schema-prefixed
+// fingerprint, so a worker can verify it reproduces the coordinator's
+// canonicalization before burning CPU on the run.
+type WireJob struct {
+	ID              uint64       `json:"id"`
+	Key             string       `json:"key"`
+	Lease           string       `json:"lease"`
+	LeaseTTLSeconds float64      `json:"lease_ttl_seconds"`
+	Config          ccsim.Config `json:"config"`
+}
+
+// LeaseRequest is a worker's poll for work. Schema must equal the
+// worker's ResultSchemaVersion(); a mismatch is rejected with
+// ErrSchemaSkew instead of a lease.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	Schema string `json:"schema"`
+}
+
+// HeartbeatRequest extends one lease.
+type HeartbeatRequest struct {
+	ID     uint64 `json:"id"`
+	Lease  string `json:"lease"`
+	Worker string `json:"worker"`
+}
+
+// WireResult is a worker's delivery for one leased job: the Result on
+// success, or the fault kind and error text on failure. ElapsedMicros is
+// the worker-side simulation time, folded into the coordinator's simulate
+// lifecycle histogram.
+type WireResult struct {
+	ID            uint64        `json:"id"`
+	Lease         string        `json:"lease"`
+	Worker        string        `json:"worker"`
+	Result        *ccsim.Result `json:"result,omitempty"`
+	FaultKind     string        `json:"fault_kind,omitempty"`
+	Error         string        `json:"error,omitempty"`
+	ElapsedMicros int64         `json:"elapsed_micros"`
+}
+
+// NewJobQueue attaches a distributed job queue to s and returns it. Call
+// before submitting anything; Close it when the sweep ends to stop the
+// lease-expiry sweeper.
+func NewJobQueue(s *Scheduler, opts JobQueueOptions) *JobQueue {
+	ttl := opts.LeaseTTL
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	q := &JobQueue{
+		s:        s,
+		leaseTTL: ttl,
+		now:      time.Now,
+		closed:   make(chan struct{}),
+		jobs:     make(map[uint64]*job),
+		byKey:    make(map[string]*job),
+		workers:  make(map[string]*workerState),
+	}
+	s.queue = q
+	// Background lease sweeper: a crashed worker never heartbeats again,
+	// so its jobs re-queue at most one tick after the TTL passes.
+	tick := ttl / 2
+	if tick > 500*time.Millisecond {
+		tick = 500 * time.Millisecond
+	}
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	go func() {
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-q.closed:
+				return
+			case <-t.C:
+				q.expire()
+			}
+		}
+	}()
+	return q
+}
+
+// Close stops the lease-expiry sweeper. Idempotent.
+func (q *JobQueue) Close() { q.closeOnce.Do(func() { close(q.closed) }) }
+
+// LeaseTTL returns the queue's lease duration.
+func (q *JobQueue) LeaseTTL() time.Duration { return q.leaseTTL }
+
+// offer registers one cacheable submission as a job. Called by Submit with
+// the scheduler's mu held, so it must never touch scheduler state.
+func (q *JobQueue) offer(p *Pending, cfg ccsim.Config, key string, submittedAt time.Time, leasable bool) *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.nextID++
+	j := &job{
+		id: q.nextID, key: key, cfg: cfg, p: p,
+		submittedAt: submittedAt, state: jobQueued, leasable: leasable,
+	}
+	q.jobs[j.id] = j
+	q.byKey[key] = j
+	q.order = append(q.order, j.id)
+	q.submitted++
+	if leasable {
+		q.ready = append(q.ready, j)
+	}
+	return j
+}
+
+// Claim verdicts for the scheduler's exec loop.
+type claimVerdict int
+
+const (
+	claimOK     claimVerdict = iota // claimed: run it locally
+	claimLeased                     // a worker holds it: wait on the returned channel
+	claimDone                       // resolved (or resolving) remotely: wait on p.done
+)
+
+// claimLocal attempts to take j for local execution. On claimLeased the
+// returned channel closes when the lease ends, so the caller can re-claim.
+func (q *JobQueue) claimLocal(j *job) (claimVerdict, <-chan struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	switch j.state {
+	case jobQueued:
+		j.state = jobLocalRunning
+		q.removeReady(j)
+		q.localClaimed++
+		return claimOK, nil
+	case jobLeased:
+		return claimLeased, j.wake
+	default:
+		return claimDone, nil
+	}
+}
+
+// finishLocal marks a locally-executed job done for listings.
+func (q *JobQueue) finishLocal(j *job) {
+	q.mu.Lock()
+	j.state = jobDone
+	q.mu.Unlock()
+}
+
+// abandon resolves j as interrupted-by-shutdown. It reports false when the
+// job is already done — a remote delivery won the race and its accounting
+// stands; the caller then just waits out p.done.
+func (q *JobQueue) abandon(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j.state == jobDone {
+		return false
+	}
+	if j.state == jobQueued {
+		q.removeReady(j)
+	}
+	if j.state == jobLeased {
+		q.endLeaseLocked(j)
+	}
+	j.state = jobDone
+	j.abandoned = true
+	return true
+}
+
+// endLeaseLocked clears j's lease bookkeeping (caller holds mu and has
+// decided the next state).
+func (q *JobQueue) endLeaseLocked(j *job) {
+	if ws := q.workers[j.worker]; ws != nil && ws.leases > 0 {
+		ws.leases--
+	}
+	q.leased--
+	j.lease = ""
+	if j.wake != nil {
+		close(j.wake)
+		j.wake = nil
+	}
+}
+
+// removeReady deletes j from the leasable FIFO if present.
+func (q *JobQueue) removeReady(j *job) {
+	for i, r := range q.ready {
+		if r == j {
+			q.ready = append(q.ready[:i], q.ready[i+1:]...)
+			return
+		}
+	}
+}
+
+// touchWorker updates (registering if needed) worker's liveness row.
+// Caller holds mu.
+func (q *JobQueue) touchWorker(name string) *workerState {
+	ws := q.workers[name]
+	if ws == nil {
+		ws = &workerState{}
+		q.workers[name] = ws
+	}
+	ws.lastSeen = q.now()
+	return ws
+}
+
+// Lease hands the oldest leasable job to worker, or nil when none is
+// waiting. schema must match the coordinator's ResultSchemaVersion();
+// skewed workers get ErrSchemaSkew and no lease, ever — their results
+// could not merge byte-identically.
+func (q *JobQueue) Lease(worker, schema string) (*WireJob, error) {
+	if schema != ResultSchemaVersion() {
+		q.mu.Lock()
+		q.rejected++
+		q.touchWorker(worker)
+		q.mu.Unlock()
+		return nil, ErrSchemaSkew
+	}
+	q.mu.Lock()
+	q.expireLocked(q.now())
+	ws := q.touchWorker(worker)
+	if len(q.ready) == 0 {
+		q.mu.Unlock()
+		return nil, nil
+	}
+	j := q.ready[0]
+	q.ready = q.ready[1:]
+	q.nextLease++
+	j.state = jobLeased
+	j.lease = fmt.Sprintf("lease-%d-%d", j.id, q.nextLease)
+	j.worker = worker
+	j.expiry = q.now().Add(q.leaseTTL)
+	j.wake = make(chan struct{})
+	ws.leases++
+	q.leased++
+	wj := &WireJob{
+		ID: j.id, Key: j.key, Lease: j.lease,
+		LeaseTTLSeconds: q.leaseTTL.Seconds(), Config: j.cfg,
+	}
+	submittedAt := j.submittedAt
+	q.mu.Unlock()
+	// The job left the queue for a worker: its wait ends here, mirroring
+	// the local path's observation at slot acquisition.
+	q.s.observe(phaseQueueWait, q.s.clock().Sub(submittedAt))
+	return wj, nil
+}
+
+// Heartbeat extends one lease; false means the lease is stale (expired,
+// reassigned, or the job resolved) and the worker should drop the job.
+func (q *JobQueue) Heartbeat(id uint64, lease, worker string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.touchWorker(worker)
+	j := q.jobs[id]
+	if j == nil || j.state != jobLeased || j.lease != lease {
+		return false
+	}
+	j.expiry = q.now().Add(q.leaseTTL)
+	return true
+}
+
+// Complete accepts one worker delivery. False means the lease is stale —
+// the job expired and was reassigned or resolved elsewhere — and the
+// delivery is discarded; exactly one delivery per job ever reaches the
+// scheduler.
+func (q *JobQueue) Complete(wr WireResult) bool {
+	q.mu.Lock()
+	q.touchWorker(wr.Worker)
+	j := q.jobs[wr.ID]
+	if j == nil || j.state != jobLeased || j.lease != wr.Lease {
+		q.rejected++
+		q.mu.Unlock()
+		return false
+	}
+	q.endLeaseLocked(j)
+	j.state = jobDone
+	j.worker = wr.Worker
+	var err error
+	switch {
+	case wr.FaultKind != "":
+		err = &ccsim.SimFault{Kind: wr.FaultKind, Message: wr.Error}
+	case wr.Error != "":
+		err = errors.New(wr.Error)
+	case wr.Result == nil:
+		err = fmt.Errorf("worker %s delivered neither a result nor an error", wr.Worker)
+	}
+	if err != nil {
+		q.remoteFailed++
+	} else {
+		q.remoteCompleted++
+		if ws := q.workers[wr.Worker]; ws != nil {
+			ws.jobs++
+		}
+	}
+	q.mu.Unlock()
+	res := wr.Result
+	if err != nil {
+		res = nil
+	}
+	q.s.deliverRemote(j, res, err, time.Duration(wr.ElapsedMicros)*time.Microsecond)
+	return true
+}
+
+// expire re-queues every job whose lease ran out.
+func (q *JobQueue) expire() {
+	q.mu.Lock()
+	expired := q.expireLocked(q.now())
+	q.mu.Unlock()
+	if q.s.logger != nil {
+		for _, e := range expired {
+			q.s.logger.Warn("worker lease expired; job re-queued",
+				"run_id", e.runID, "worker", e.worker, "job", e.id)
+		}
+	}
+}
+
+type expiredLease struct {
+	id     uint64
+	runID  string
+	worker string
+}
+
+// expireLocked is expire's body under mu, returning what it re-queued so
+// the caller can log outside the lock.
+func (q *JobQueue) expireLocked(now time.Time) []expiredLease {
+	var out []expiredLease
+	for _, id := range q.order {
+		j := q.jobs[id]
+		if j.state != jobLeased || now.Before(j.expiry) {
+			continue
+		}
+		out = append(out, expiredLease{id: j.id, runID: RunID(j.cfg), worker: j.worker})
+		q.endLeaseLocked(j)
+		q.leaseExpired++
+		j.state = jobQueued
+		j.worker = ""
+		q.ready = append(q.ready, j)
+	}
+	return out
+}
+
+// SubmitJob enqueues one configuration arriving over the API (POST /jobs)
+// and returns its job view — the existing one when the configuration was
+// already submitted, resolved or not; the queue deduplicates by
+// fingerprint exactly like the scheduler.
+func (q *JobQueue) SubmitJob(cfg ccsim.Config) (JobView, error) {
+	key, cacheable := Fingerprint(cfg)
+	if !cacheable {
+		return JobView{}, ErrUncacheable
+	}
+	q.mu.Lock()
+	q.apiSubmitted++
+	q.mu.Unlock()
+	q.s.Submit(cfg)
+	q.mu.Lock()
+	j := q.byKey[key]
+	q.mu.Unlock()
+	if j == nil {
+		return JobView{}, fmt.Errorf("job for %s was not registered", key)
+	}
+	return q.view(j), nil
+}
+
+// Job returns one job's view by ID.
+func (q *JobQueue) Job(id uint64) (JobView, bool) {
+	q.mu.Lock()
+	j := q.jobs[id]
+	q.mu.Unlock()
+	if j == nil {
+		return JobView{}, false
+	}
+	return q.view(j), true
+}
+
+// Jobs lists every job in submission order.
+func (q *JobQueue) Jobs() []JobView {
+	q.mu.Lock()
+	js := make([]*job, 0, len(q.order))
+	for _, id := range q.order {
+		js = append(js, q.jobs[id])
+	}
+	q.mu.Unlock()
+	out := make([]JobView, 0, len(js))
+	for _, j := range js {
+		out = append(out, q.view(j))
+	}
+	return out
+}
+
+// view renders one job. Result and error are read only after p.done
+// closes, so the view never races a delivery.
+func (q *JobQueue) view(j *job) JobView {
+	v := JobView{
+		ID: j.id, Key: j.key, RunID: RunID(j.cfg),
+		Workload: j.cfg.Workload, Protocol: j.cfg.ProtocolName(),
+	}
+	select {
+	case <-j.p.done:
+		q.mu.Lock()
+		v.Worker = j.worker
+		q.mu.Unlock()
+		switch {
+		case j.p.err == nil:
+			v.State = "completed"
+			v.Result = j.p.res
+		case errors.Is(j.p.err, ErrInterrupted):
+			v.State = "interrupted"
+			v.Error = j.p.err.Error()
+		default:
+			v.State = "failed"
+			v.Error = j.p.err.Error()
+			v.Result = j.p.res
+		}
+		return v
+	default:
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	switch j.state {
+	case jobQueued:
+		v.State = "queued"
+	case jobLeased:
+		v.State = "leased"
+		v.Worker = j.worker
+	case jobLocalRunning:
+		v.State = "running"
+	default:
+		// Resolved in the queue but the delivery's accounting is still in
+		// flight; the next poll will see it completed.
+		v.State = "finishing"
+	}
+	return v
+}
+
+// Stats snapshots the queue's counters and worker registry.
+func (q *JobQueue) Stats() JobStats {
+	now := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := JobStats{
+		Submitted: q.submitted, APISubmitted: q.apiSubmitted,
+		Queued: len(q.ready), Leased: q.leased,
+		LocalClaimed: q.localClaimed, RemoteCompleted: q.remoteCompleted,
+		RemoteFailed: q.remoteFailed, LeaseExpired: q.leaseExpired,
+		Rejected: q.rejected,
+	}
+	names := make([]string, 0, len(q.workers))
+	for name := range q.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ws := q.workers[name]
+		st.Workers = append(st.Workers, WorkerStatus{
+			Name: name, Leases: ws.leases, Jobs: ws.jobs,
+			HeartbeatAgeSeconds: now.Sub(ws.lastSeen).Seconds(),
+		})
+	}
+	return st
+}

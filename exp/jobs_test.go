@@ -1,0 +1,336 @@
+package exp
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ccsim"
+	"ccsim/internal/store"
+)
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestJobQueueRemoteRoundTrip walks the whole worker wire protocol inline:
+// with the coordinator's only slot pinned by a running job, a second job is
+// leased, heartbeated and delivered by a simulated worker, resolves every
+// waiter with the delivered Result, and a stale re-delivery is rejected.
+func TestJobQueueRemoteRoundTrip(t *testing.T) {
+	release := make(chan struct{})
+	withRunSim(t, func(cfg ccsim.Config) (*ccsim.Result, error) {
+		<-release
+		return &ccsim.Result{Workload: cfg.Workload, Protocol: cfg.ProtocolName(), ExecTime: 1}, nil
+	})
+	s := NewScheduler(1, "")
+	q := NewJobQueue(s, JobQueueOptions{LeaseTTL: time.Minute})
+	defer q.Close()
+
+	cfgA := tiny().config("mp3d")
+	cfgA.MaxEvents = 1_000_001
+	cfgB := tiny().config("mp3d")
+	cfgB.MaxEvents = 1_000_002
+	keyB, _ := Fingerprint(cfgB)
+
+	s.Submit(cfgA)
+	waitUntil(t, "job A claimed locally", func() bool { return q.Stats().LocalClaimed == 1 })
+	pb := s.Submit(cfgB)
+
+	wj, err := q.Lease("w1", ResultSchemaVersion())
+	if err != nil || wj == nil {
+		t.Fatalf("Lease = %v, %v; want job B", wj, err)
+	}
+	if wj.Key != keyB {
+		t.Fatalf("leased key = %q, want job B's %q", wj.Key, keyB)
+	}
+	if wj.Config.MaxEvents != cfgB.MaxEvents || wj.Config.Workload != "mp3d" {
+		t.Fatalf("leased config mangled: %+v", wj.Config)
+	}
+	if got, _ := Fingerprint(wj.Config); got != wj.Key {
+		t.Fatalf("wire config re-fingerprints to %q, want %q", got, wj.Key)
+	}
+	if !q.Heartbeat(wj.ID, wj.Lease, "w1") {
+		t.Fatal("heartbeat on a live lease rejected")
+	}
+	if q.Heartbeat(wj.ID, "bogus-lease", "w1") {
+		t.Fatal("heartbeat with a wrong lease accepted")
+	}
+	if v, ok := q.Job(wj.ID); !ok || v.State != "leased" || v.Worker != "w1" {
+		t.Fatalf("leased job view = %+v", v)
+	}
+
+	delivered := &ccsim.Result{Workload: "mp3d", Protocol: "BASIC", ExecTime: 42}
+	if !q.Complete(WireResult{ID: wj.ID, Lease: wj.Lease, Worker: "w1",
+		Result: delivered, ElapsedMicros: 1500}) {
+		t.Fatal("delivery on a live lease rejected")
+	}
+	rb, err := pb.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.ExecTime != 42 {
+		t.Fatalf("remote result lost: ExecTime = %v, want 42", rb.ExecTime)
+	}
+	if q.Complete(WireResult{ID: wj.ID, Lease: wj.Lease, Worker: "w1", Result: delivered}) {
+		t.Fatal("second delivery of a resolved job accepted")
+	}
+	if v, ok := q.Job(wj.ID); !ok || v.State != "completed" || v.Result == nil || v.Worker != "w1" {
+		t.Fatalf("delivered job view = %+v", v)
+	}
+
+	close(release)
+	waitUntil(t, "job A completing locally", func() bool { return s.Stats().Completed == 2 })
+	st := q.Stats()
+	if st.Submitted != 2 || st.LocalClaimed != 1 || st.RemoteCompleted != 1 || st.Rejected != 1 {
+		t.Fatalf("queue stats = %+v", st)
+	}
+	if st.Leased != 0 || st.Queued != 0 {
+		t.Fatalf("drained queue still shows work: %+v", st)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].Name != "w1" || st.Workers[0].Jobs != 1 {
+		t.Fatalf("worker registry = %+v", st.Workers)
+	}
+	if views := q.Jobs(); len(views) != 2 || views[0].State != "completed" || views[1].State != "completed" {
+		t.Fatalf("job listing = %+v", views)
+	}
+	ss := s.Stats()
+	if ss.Completed != 2 || ss.Failed != 0 || ss.Queued != 0 {
+		t.Fatalf("scheduler stats after mixed local/remote sweep: %+v", ss)
+	}
+	// The remote run's engine snapshot and simulate phase merged like a
+	// local one's would.
+	byPhase := map[string]DurationStats{}
+	for _, d := range ss.Lifecycle {
+		byPhase[d.Phase] = d
+	}
+	if byPhase["simulate"].Count != 2 {
+		t.Fatalf("simulate samples = %d, want 2 (one local, one remote)", byPhase["simulate"].Count)
+	}
+}
+
+// TestJobQueueLeaseExpiryRequeues proves a crashed worker cannot lose a
+// run: a leased job whose worker never heartbeats re-queues after the TTL
+// and the coordinator finishes it locally; the dead worker's late delivery
+// and heartbeat are rejected.
+func TestJobQueueLeaseExpiryRequeues(t *testing.T) {
+	block := make(chan struct{})
+	var calls atomic.Int32
+	withRunSim(t, func(cfg ccsim.Config) (*ccsim.Result, error) {
+		if calls.Add(1) == 1 {
+			<-block
+		}
+		return &ccsim.Result{Workload: cfg.Workload, Protocol: cfg.ProtocolName(), ExecTime: 7}, nil
+	})
+	s := NewScheduler(1, "")
+	q := NewJobQueue(s, JobQueueOptions{LeaseTTL: 40 * time.Millisecond})
+	defer q.Close()
+
+	blocker := tiny().config("mp3d")
+	blocker.MaxEvents = 2_000_001
+	pa := s.Submit(blocker)
+	waitUntil(t, "blocker claiming the slot", func() bool { return q.Stats().LocalClaimed == 1 })
+
+	cfgB := tiny().config("mp3d")
+	cfgB.MaxEvents = 2_000_002
+	pb := s.Submit(cfgB)
+	wj, err := q.Lease("crashy", ResultSchemaVersion())
+	if err != nil || wj == nil {
+		t.Fatalf("Lease = %v, %v", wj, err)
+	}
+	// The worker "crashes": no heartbeat, no delivery. The sweeper must
+	// expire the lease and re-queue the job.
+	waitUntil(t, "lease expiry", func() bool { return q.Stats().LeaseExpired >= 1 })
+	if q.Heartbeat(wj.ID, wj.Lease, "crashy") {
+		t.Fatal("heartbeat on an expired lease accepted")
+	}
+	if q.Complete(WireResult{ID: wj.ID, Lease: wj.Lease, Worker: "crashy",
+		Result: &ccsim.Result{ExecTime: 666}}) {
+		t.Fatal("delivery on an expired lease accepted")
+	}
+	// Free the slot: the re-queued job must now run locally, losing nothing.
+	close(block)
+	ra, err := pa.Wait()
+	if err != nil || ra.ExecTime != 7 {
+		t.Fatalf("blocker result = %v, %v", ra, err)
+	}
+	rb, err := pb.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.ExecTime != 7 {
+		t.Fatalf("re-queued run's result = %+v, want the local simulation's (the dead worker's 666 must not land)", rb)
+	}
+	st := q.Stats()
+	if st.LocalClaimed != 2 || st.RemoteCompleted != 0 || st.LeaseExpired < 1 || st.Rejected < 1 {
+		t.Fatalf("queue stats = %+v", st)
+	}
+	if ss := s.Stats(); ss.Completed != 2 || ss.Failed != 0 {
+		t.Fatalf("scheduler stats = %+v", ss)
+	}
+}
+
+// TestJobQueueSchemaSkewRejected: a worker built with a different Result
+// schema never gets a lease.
+func TestJobQueueSchemaSkewRejected(t *testing.T) {
+	withRunSim(t, func(cfg ccsim.Config) (*ccsim.Result, error) {
+		return &ccsim.Result{ExecTime: 1}, nil
+	})
+	s := NewScheduler(1, "")
+	q := NewJobQueue(s, JobQueueOptions{})
+	defer q.Close()
+	wj, err := q.Lease("old-build", "deadbeef0000")
+	if !errors.Is(err, ErrSchemaSkew) || wj != nil {
+		t.Fatalf("Lease = %v, %v; want ErrSchemaSkew", wj, err)
+	}
+	st := q.Stats()
+	if st.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", st.Rejected)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].Name != "old-build" {
+		t.Fatalf("skewed worker missing from registry: %+v", st.Workers)
+	}
+}
+
+// TestJobQueueStoreContainedNotLeasable: a run the durable store already
+// holds resolves from disk and is never offered to workers — resume sweeps
+// must not ship already-completed work over the wire.
+func TestJobQueueStoreContainedNotLeasable(t *testing.T) {
+	withRunSim(t, func(cfg ccsim.Config) (*ccsim.Result, error) {
+		return &ccsim.Result{Workload: cfg.Workload, Protocol: cfg.ProtocolName(), ExecTime: 3}, nil
+	})
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tiny().config("mp3d")
+	cfg.MaxEvents = 3_000_001
+	warm := NewScheduler(1, "")
+	warm.UseStore(st, false)
+	if _, err := warm.Submit(cfg).Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewScheduler(1, "")
+	s.UseStore(st, true)
+	q := NewJobQueue(s, JobQueueOptions{})
+	defer q.Close()
+	p := s.Submit(cfg)
+	if wj, err := q.Lease("w1", ResultSchemaVersion()); err != nil || wj != nil {
+		t.Fatalf("Lease = %v, %v; want nothing (run is store-contained)", wj, err)
+	}
+	r, err := p.Wait()
+	if err != nil || r.ExecTime != 3 {
+		t.Fatalf("store-served run = %v, %v", r, err)
+	}
+	qs := q.Stats()
+	if qs.Submitted != 1 || qs.Queued != 0 || qs.LocalClaimed != 1 {
+		t.Fatalf("queue stats = %+v", qs)
+	}
+	if ss := s.Stats(); ss.Store == nil || ss.Store.Hits != 1 {
+		t.Fatalf("store hit lost: %+v", ss.Store)
+	}
+}
+
+// TestJobQueueSubmitAPI: POST /jobs' backing call deduplicates by
+// fingerprint, rejects side-channel configs, and exposes results through
+// the job view once resolved.
+func TestJobQueueSubmitAPI(t *testing.T) {
+	withRunSim(t, func(cfg ccsim.Config) (*ccsim.Result, error) {
+		return &ccsim.Result{Workload: cfg.Workload, Protocol: cfg.ProtocolName(), ExecTime: 9}, nil
+	})
+	s := NewScheduler(2, "")
+	q := NewJobQueue(s, JobQueueOptions{})
+	defer q.Close()
+	cfg := tiny().config("mp3d")
+	cfg.MaxEvents = 4_000_001
+	v1, err := q.SubmitJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := q.SubmitJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.ID != v2.ID {
+		t.Fatalf("duplicate submission got a new job: %d vs %d", v1.ID, v2.ID)
+	}
+	waitUntil(t, "API job resolving", func() bool {
+		v, ok := q.Job(v1.ID)
+		return ok && v.State == "completed"
+	})
+	v, _ := q.Job(v1.ID)
+	if v.Result == nil || v.Result.ExecTime != 9 {
+		t.Fatalf("resolved view = %+v", v)
+	}
+	if v.RunID == "" || v.Workload != "mp3d" {
+		t.Fatalf("view identity = %+v", v)
+	}
+	if qs := q.Stats(); qs.APISubmitted != 2 || qs.Submitted != 1 {
+		t.Fatalf("queue stats = %+v", qs)
+	}
+	bad := cfg
+	bad.Progress = &ccsim.Progress{}
+	if _, err := q.SubmitJob(bad); !errors.Is(err, ErrUncacheable) {
+		t.Fatalf("side-channel submission error = %v, want ErrUncacheable", err)
+	}
+	if _, ok := q.Job(999); ok {
+		t.Fatal("unknown job ID resolved")
+	}
+}
+
+// TestJobQueueInterruptWithLeasedJob: graceful shutdown abandons a job a
+// worker holds — the sweep does not hang waiting for the worker, and the
+// worker's eventual delivery is rejected.
+func TestJobQueueInterruptWithLeasedJob(t *testing.T) {
+	block := make(chan struct{})
+	var calls atomic.Int32
+	withRunSim(t, func(cfg ccsim.Config) (*ccsim.Result, error) {
+		if calls.Add(1) == 1 {
+			<-block
+		}
+		return &ccsim.Result{Workload: cfg.Workload, Protocol: cfg.ProtocolName(), ExecTime: 5}, nil
+	})
+	s := NewScheduler(1, "")
+	q := NewJobQueue(s, JobQueueOptions{LeaseTTL: time.Minute})
+	defer q.Close()
+	blocker := tiny().config("mp3d")
+	blocker.MaxEvents = 5_000_001
+	pa := s.Submit(blocker)
+	waitUntil(t, "blocker claiming the slot", func() bool { return q.Stats().LocalClaimed == 1 })
+	cfgB := tiny().config("mp3d")
+	cfgB.MaxEvents = 5_000_002
+	pb := s.Submit(cfgB)
+	wj, err := q.Lease("slowpoke", ResultSchemaVersion())
+	if err != nil || wj == nil {
+		t.Fatalf("Lease = %v, %v", wj, err)
+	}
+	s.Interrupt()
+	if _, err := pb.Wait(); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("leased job's error after interrupt = %v, want ErrInterrupted", err)
+	}
+	if q.Complete(WireResult{ID: wj.ID, Lease: wj.Lease, Worker: "slowpoke",
+		Result: &ccsim.Result{ExecTime: 5}}) {
+		t.Fatal("delivery for an abandoned job accepted")
+	}
+	if v, ok := q.Job(wj.ID); !ok || v.State != "interrupted" {
+		t.Fatalf("abandoned job view = %+v", v)
+	}
+	close(block)
+	if _, err := pa.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	ss := s.Stats()
+	if ss.Interrupted != 1 || ss.Failed != 1 || ss.Completed != 1 || ss.Queued != 0 {
+		t.Fatalf("scheduler stats = %+v", ss)
+	}
+}

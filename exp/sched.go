@@ -55,6 +55,12 @@ type Scheduler struct {
 	// retry bounds re-execution of transiently-faulted runs (SetRetryPolicy).
 	retry RetryPolicy
 
+	// queue, when non-nil, is the distributed job queue (NewJobQueue):
+	// cacheable submissions are offered to it so remote workers can lease
+	// and execute them, with exec falling back to the local slot pool when
+	// no worker claims a job first.
+	queue *JobQueue
+
 	// stop closes on Interrupt: queued runs abandon instead of starting,
 	// and cancel — attached to every executing run — aborts in-flight
 	// simulations cleanly at their next event batch.
@@ -107,7 +113,8 @@ type Scheduler struct {
 // Stats() snapshots and Prometheus labels.
 const (
 	phaseQueueWait    = iota // Submit to worker-slot acquisition
-	phaseSimulate            // the simulation itself, including retries
+	phaseSimulate            // one simulation attempt (each retry is its own sample)
+	phaseRetryWait           // backoff sleeps between retry attempts
 	phaseStorePut            // persisting the Result to the durable store
 	phaseMetricsWrite        // writing the per-run metrics JSON file
 	numPhases
@@ -116,6 +123,7 @@ const (
 var phaseNames = [numPhases]string{
 	phaseQueueWait:    "queue_wait",
 	phaseSimulate:     "simulate",
+	phaseRetryWait:    "retry_wait",
 	phaseStorePut:     "store_put",
 	phaseMetricsWrite: "metrics_write",
 }
@@ -150,8 +158,10 @@ type SchedStats struct {
 	DroppedSpans uint64
 
 	// Lifecycle decomposes completed runs' wall-clock into the scheduler's
-	// four phases (queue_wait, simulate, store_put, metrics_write), one
-	// entry per phase in that fixed order.
+	// five phases (queue_wait, simulate, retry_wait, store_put,
+	// metrics_write), one entry per phase in that fixed order. Each
+	// simulation attempt is one simulate sample; retry backoff sleeps land
+	// in retry_wait, never in simulate.
 	Lifecycle []DurationStats
 
 	// Engine aggregates the event engine's queue-internals counters over
@@ -165,13 +175,19 @@ type SchedStats struct {
 	// Completed or Failed as usual).
 	Retries uint64
 
-	// Interrupted counts runs abandoned before execution because the sweep
-	// was interrupted; they sit in the Failed ledger with ErrInterrupted.
+	// Interrupted counts runs abandoned by graceful shutdown: runs that
+	// never started (they sit in the Failed ledger with ErrInterrupted)
+	// plus runs cut off mid-retry, which land there with a canceled
+	// SimFault instead of their stale transient fault.
 	Interrupted uint64
 
 	// Store snapshots the durable result cache's counters, nil when the
 	// scheduler runs without one (no -cache-dir).
 	Store *StoreStats
+
+	// Jobs snapshots the distributed job queue's counters and worker
+	// registry, nil when the scheduler runs without one (no -serve-jobs).
+	Jobs *JobStats
 }
 
 // StoreStats is the durable result store's state as the ops plane exports
@@ -359,6 +375,10 @@ func (s *Scheduler) Stats() SchedStats {
 		st.Engine = &eng
 	}
 	s.mu.Unlock()
+	if s.queue != nil {
+		js := s.queue.Stats()
+		st.Jobs = &js
+	}
 	if s.resStore != nil {
 		ss := s.resStore.Stats()
 		st.Store = &StoreStats{
@@ -428,7 +448,9 @@ func (s *Scheduler) Submit(cfg ccsim.Config) *Pending {
 		s.submitted++
 		s.queued++
 		s.mu.Unlock()
-		go s.exec(p, cfg, key, false, submittedAt)
+		// Uncacheable runs carry side channels that cannot cross the wire;
+		// they always execute locally and are never offered to the queue.
+		go s.exec(p, cfg, key, false, submittedAt, nil)
 		return p
 	}
 	s.mu.Lock()
@@ -441,8 +463,17 @@ func (s *Scheduler) Submit(cfg ccsim.Config) *Pending {
 	s.runs[key] = p
 	s.unique++
 	s.queued++
+	var j *job
+	if s.queue != nil {
+		// Offer the run to the distributed queue. Runs already present in
+		// the durable store stay unleasable: they resolve from disk in a
+		// stat + read, so shipping them to a worker would only re-simulate
+		// what resume already has.
+		leasable := !(s.resStore != nil && s.storeRead && s.resStore.Contains(key))
+		j = s.queue.offer(p, cfg, key, submittedAt, leasable)
+	}
 	s.mu.Unlock()
-	go s.exec(p, cfg, key, true, submittedAt)
+	go s.exec(p, cfg, key, true, submittedAt, j)
 	return p
 }
 
@@ -455,15 +486,20 @@ func (s *Scheduler) Failed() []FailedRun {
 	return append([]FailedRun(nil), s.failed...)
 }
 
-func (s *Scheduler) exec(p *Pending, cfg ccsim.Config, key string, cacheable bool, submittedAt time.Time) {
-	select {
-	case s.slots <- struct{}{}:
-	case <-s.stop:
-		// Interrupted while queued: never ran, and under graceful shutdown
-		// never will. The error routes through the Failed ledger so
-		// cmd/experiments can count abandoned runs and print the resume
-		// hint; a resumed sweep re-runs them from scratch (or from the
-		// store, for the ones that did complete).
+func (s *Scheduler) exec(p *Pending, cfg ccsim.Config, key string, cacheable bool, submittedAt time.Time, j *job) {
+	// abandonQueued records one run interrupted while it waited: never ran,
+	// and under graceful shutdown never will. The error routes through the
+	// Failed ledger so cmd/experiments can count abandoned runs and print
+	// the resume hint; a resumed sweep re-runs them from scratch (or from
+	// the store, for the ones that did complete). With a job queue attached
+	// the queue state arbitrates against a racing remote delivery: if the
+	// job is already done, the delivery's accounting wins and exec only
+	// waits it out.
+	abandonQueued := func() {
+		if j != nil && !s.queue.abandon(j) {
+			<-p.done
+			return
+		}
 		p.err = ErrInterrupted
 		s.mu.Lock()
 		s.queued--
@@ -471,9 +507,46 @@ func (s *Scheduler) exec(p *Pending, cfg ccsim.Config, key string, cacheable boo
 		s.failed = append(s.failed, FailedRun{Cfg: cfg, Err: p.err})
 		s.mu.Unlock()
 		close(p.done)
-		return
+	}
+	for {
+		select {
+		case s.slots <- struct{}{}:
+		case <-s.stop:
+			abandonQueued()
+			return
+		case <-p.done:
+			// A remote worker delivered this run's result while we waited
+			// for a local slot; deliverRemote did all the accounting.
+			return
+		}
+		if j == nil {
+			break
+		}
+		verdict, wake := s.queue.claimLocal(j)
+		if verdict == claimOK {
+			break
+		}
+		<-s.slots // the run is remote: release the local slot
+		if verdict == claimDone {
+			<-p.done
+			return
+		}
+		// Leased by a worker: wait for its delivery, its lease expiring
+		// (the job re-queues and we loop to claim it), or shutdown.
+		select {
+		case <-p.done:
+			return
+		case <-wake:
+			continue
+		case <-s.stop:
+			abandonQueued()
+			return
+		}
 	}
 	defer func() { <-s.slots }()
+	if j != nil {
+		defer s.queue.finishLocal(j)
+	}
 	s.observe(phaseQueueWait, s.clock().Sub(submittedAt))
 	// Read-through: a valid store entry for this exact key — same schema,
 	// same canonical configuration — serves the run without simulating.
@@ -561,9 +634,7 @@ func (s *Scheduler) exec(p *Pending, cfg ccsim.Config, key string, cacheable boo
 		}
 		s.mu.Unlock()
 	}()
-	t0 := s.clock()
 	p.res, p.err = s.runWithRetry(cfg)
-	s.observe(phaseSimulate, s.clock().Sub(t0))
 	if p.err == nil && s.resStore != nil && cacheable {
 		// Write-behind: persist before the metrics write so a crash between
 		// the two still resumes (the store is the source of truth; metrics
@@ -594,6 +665,9 @@ func (s *Scheduler) exec(p *Pending, cfg ccsim.Config, key string, cacheable boo
 // runWithRetry executes one simulation under the retry policy: transient
 // watchdog faults re-run with doubling backoff up to the attempt cap;
 // terminal faults, success, or an interrupted sweep return immediately.
+// Each attempt contributes its own simulate lifecycle sample and backoff
+// sleeps land in retry_wait, so the simulate histogram never inflates with
+// time spent deliberately asleep.
 func (s *Scheduler) runWithRetry(cfg ccsim.Config) (*ccsim.Result, error) {
 	attempts := s.retry.MaxAttempts
 	if attempts < 1 {
@@ -601,9 +675,18 @@ func (s *Scheduler) runWithRetry(cfg ccsim.Config) (*ccsim.Result, error) {
 	}
 	backoff := s.retry.Backoff
 	for attempt := 1; ; attempt++ {
+		t0 := s.clock()
 		res, err := runSim(cfg)
-		if err == nil || attempt >= attempts || !Retryable(err) || s.Interrupted() {
+		s.observe(phaseSimulate, s.clock().Sub(t0))
+		if err == nil || attempt >= attempts || !Retryable(err) {
 			return res, err
+		}
+		if s.Interrupted() {
+			// The run would retry, but the sweep is shutting down: its last
+			// transient fault is stale state of an abandoned retry loop, not
+			// this run's outcome. Classify it as canceled so the ledger, the
+			// shutdown condensation and the interrupted counter all agree.
+			return nil, s.retryInterrupted(err)
 		}
 		s.mu.Lock()
 		s.retries++
@@ -618,14 +701,81 @@ func (s *Scheduler) runWithRetry(cfg ccsim.Config) (*ccsim.Result, error) {
 				"kind", kind, "backoff", backoff.String())
 		}
 		if backoff > 0 {
+			t1 := s.clock()
+			interrupted := false
 			select {
 			case <-time.After(backoff):
 			case <-s.stop:
-				return res, err
+				interrupted = true
+			}
+			s.observe(phaseRetryWait, s.clock().Sub(t1))
+			if interrupted {
+				return nil, s.retryInterrupted(err)
 			}
 			backoff *= 2
 		}
 	}
+}
+
+// retryInterrupted classifies a retry loop cut off by graceful shutdown:
+// the stale transient fault of the last attempt is replaced by a canceled
+// SimFault naming it, and the run counts as interrupted.
+func (s *Scheduler) retryInterrupted(last error) error {
+	kind := "unknown"
+	if f, ok := ccsim.AsFault(last); ok {
+		kind = f.Kind
+	}
+	s.mu.Lock()
+	s.interrupted++
+	s.mu.Unlock()
+	return &ccsim.SimFault{
+		Kind: ccsim.FaultCanceled,
+		Message: fmt.Sprintf(
+			"sweep interrupted during retry backoff (last transient fault: %s)", kind),
+	}
+}
+
+// deliverRemote completes one job from a worker's delivered result: the
+// same write-behind store put, metrics write and completion accounting the
+// local path performs, so a distributed sweep's store, metrics directory
+// and stdout are byte-identical to a single-process run. The caller (the
+// job queue) has already transitioned the job to done under its own lock,
+// so exactly one deliverRemote runs per job and exec's claim loop can only
+// observe the job as finished.
+func (s *Scheduler) deliverRemote(j *job, res *ccsim.Result, err error, elapsed time.Duration) {
+	p := j.p
+	p.res, p.err = res, err
+	s.observe(phaseSimulate, elapsed)
+	if p.err == nil && s.resStore != nil {
+		t0 := s.clock()
+		serr := s.storePut(j.key, p.res)
+		s.observe(phaseStorePut, s.clock().Sub(t0))
+		if serr != nil {
+			p.err = fmt.Errorf("store: %w", serr)
+		}
+	}
+	if p.err == nil && s.metricsDir != "" {
+		t1 := s.clock()
+		werr := writeMetrics(s.metricsDir, j.cfg, p.res)
+		s.observe(phaseMetricsWrite, s.clock().Sub(t1))
+		if werr != nil {
+			p.err = fmt.Errorf("metrics: %w", werr)
+		}
+	}
+	s.mu.Lock()
+	s.queued--
+	if p.err != nil {
+		s.failed = append(s.failed, FailedRun{Cfg: j.cfg, Err: p.err})
+	} else {
+		s.completed++
+		if p.res != nil {
+			s.droppedSpans += p.res.DroppedSpans
+			s.engine.Merge(p.res.Queue)
+			s.engineRuns++
+		}
+	}
+	s.mu.Unlock()
+	close(p.done)
 }
 
 // storeGet resolves key through the durable store: a valid entry decodes

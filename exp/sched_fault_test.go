@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ccsim"
+	"ccsim/internal/store"
 )
 
 // withRunSim swaps the scheduler's simulation entry point for the test's
@@ -114,6 +115,117 @@ func TestSchedulerMetricsFailureKeepsResult(t *testing.T) {
 	}
 	if len(s.Failed()) != 1 {
 		t.Fatalf("metrics failure missing from the fault ledger: %+v", s.Failed())
+	}
+}
+
+// TestConcurrentSubmitInterruptAccounting races many concurrent Submit
+// calls — duplicates for dedup traffic, a pre-warmed store for read-through
+// hits — against an Interrupt landing while workers are mid-flight, and
+// asserts the counter sum invariants hold once everything drains: every
+// submission is a unique run or a dedup hit, every unique run resolves into
+// exactly one of completed or failed, the ledger matches the failed count,
+// and nothing is left queued or running. Run under -race (verify.sh's exp
+// race pass), this is the scheduler's shutdown-accounting stress test.
+func TestConcurrentSubmitInterruptAccounting(t *testing.T) {
+	withRunSim(t, func(cfg ccsim.Config) (*ccsim.Result, error) {
+		time.Sleep(2 * time.Millisecond)
+		return &ccsim.Result{Workload: cfg.Workload, Protocol: cfg.ProtocolName(), ExecTime: 1}, nil
+	})
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkcfg := func(i int) ccsim.Config {
+		cfg := tiny().config("mp3d")
+		cfg.MaxEvents = uint64(1_000_000 + i) // distinct fingerprints per i
+		return cfg
+	}
+	// Warm the store with the first 8 configurations so the racing sweep
+	// below serves them as read-through hits.
+	warm := NewScheduler(4, "")
+	warm.UseStore(st, false)
+	for i := 0; i < 8; i++ {
+		if _, err := warm.Submit(mkcfg(i)).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := NewScheduler(2, "")
+	s.UseStore(st, true)
+	const (
+		submitters   = 8
+		perSubmitter = 24
+		distinct     = 32 // i%distinct duplicates many submissions
+	)
+	var (
+		mu   sync.Mutex
+		pend []*Pending
+		wg   sync.WaitGroup
+	)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				p := s.Submit(mkcfg((g*perSubmitter + i) % distinct))
+				mu.Lock()
+				pend = append(pend, p)
+				mu.Unlock()
+			}
+		}(g)
+	}
+	// Interrupt while submissions and simulations are both in flight —
+	// but only after at least one store hit has landed, so the race always
+	// covers the read-through path too.
+	go func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if st := s.Stats(); st.Store != nil && st.Store.Hits > 0 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		s.Interrupt()
+	}()
+	wg.Wait()
+	for _, p := range pend {
+		p.Wait() //nolint:errcheck // the invariant below covers outcomes
+	}
+
+	stats := s.Stats()
+	if stats.Queued != 0 || stats.Running != 0 {
+		t.Errorf("drained scheduler still has queued=%d running=%d", stats.Queued, stats.Running)
+	}
+	if want := uint64(submitters * perSubmitter); stats.Submitted != want {
+		t.Errorf("Submitted = %d, want %d", stats.Submitted, want)
+	}
+	if stats.Unique+stats.DedupHits != stats.Submitted {
+		t.Errorf("Unique(%d) + DedupHits(%d) != Submitted(%d)",
+			stats.Unique, stats.DedupHits, stats.Submitted)
+	}
+	if stats.Completed+stats.Failed != stats.Unique {
+		t.Errorf("Completed(%d) + Failed(%d) != Unique(%d): a run was lost or double-counted",
+			stats.Completed, stats.Failed, stats.Unique)
+	}
+	if got := uint64(len(s.Failed())); got != stats.Failed {
+		t.Errorf("ledger has %d entries, Failed counter says %d", got, stats.Failed)
+	}
+	if stats.Interrupted > stats.Failed {
+		t.Errorf("Interrupted(%d) > Failed(%d)", stats.Interrupted, stats.Failed)
+	}
+	// Every ledger entry must be a shutdown casualty: this sweep's runs
+	// cannot fail any other way.
+	for _, f := range s.Failed() {
+		if errors.Is(f.Err, ErrInterrupted) {
+			continue
+		}
+		if sf, ok := ccsim.AsFault(f.Err); ok && sf.Kind == ccsim.FaultCanceled {
+			continue
+		}
+		t.Errorf("unexpected non-shutdown failure in ledger: %v", f.Err)
+	}
+	if stats.Store == nil || stats.Store.Hits == 0 {
+		t.Error("store read-through hits never happened; the race never covered the hit path")
 	}
 }
 
